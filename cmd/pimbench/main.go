@@ -1,0 +1,88 @@
+// Command pimbench regenerates the paper's evaluation: Tables 1-5,
+// Figures 1-3, and the in-text experiments (two-word bus, optimization
+// detail, the Illinois comparison).
+//
+// Usage:
+//
+//	pimbench                     # everything, paper scales
+//	pimbench -quick              # everything, reduced scales
+//	pimbench -table 4            # one table
+//	pimbench -figure 2           # one figure
+//	pimbench -extra buswidth     # one in-text experiment
+//	pimbench -bench Tri          # restrict to one benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pimcache/internal/bench"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "use reduced benchmark scales")
+		table   = flag.Int("table", 0, "regenerate only table N (1-5)")
+		figure  = flag.Int("figure", 0, "regenerate only figure N (1-3)")
+		extra   = flag.String("extra", "", "in-text experiment: buswidth, assoc, optdetail, protocols, illinois")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (Tri,Semi,Puzzle,Pascal)")
+		verbose = flag.Bool("v", false, "print progress")
+	)
+	flag.Parse()
+
+	o := bench.DefaultOptions()
+	o.Quick = *quick
+	if *benches != "" {
+		o.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *verbose {
+		o.Progress = os.Stderr
+	}
+	// Sweeps are only needed for the figures and extras.
+	wantAll := *table == 0 && *figure == 0 && *extra == ""
+	if *table != 0 && *figure == 0 && *extra == "" {
+		o.SkipSweeps = true
+	}
+	if *figure == 3 && *table == 0 && *extra == "" {
+		o.SkipSweeps = true // figure 3 uses the live PE sweep only
+	}
+
+	d, err := bench.Collect(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+
+	show := func(cond bool, s fmt.Stringer) {
+		if cond {
+			fmt.Println(s)
+		}
+	}
+	show(wantAll || *table == 1, bench.Table1(d))
+	show(wantAll || *table == 2, bench.Table2(d))
+	show(wantAll || *table == 3, bench.Table3(d))
+	show(wantAll || *table == 4, bench.Table4(d))
+	show(wantAll || *table == 5, bench.Table5(d))
+	if wantAll || *figure == 1 {
+		m, t := bench.Figure1(d)
+		fmt.Println(m)
+		fmt.Println(t)
+	}
+	if wantAll || *figure == 2 {
+		m, t := bench.Figure2(d)
+		fmt.Println(m)
+		fmt.Println(t)
+	}
+	if wantAll || *figure == 3 {
+		tr, sh := bench.Figure3(d)
+		fmt.Println(tr)
+		fmt.Println(sh)
+	}
+	show(wantAll || *extra == "buswidth", bench.ExtraBusWidth(d))
+	show(wantAll || *extra == "assoc", bench.ExtraAssociativity(d))
+	show(wantAll || *extra == "optdetail", bench.ExtraOptDetail(d))
+	show(wantAll || *extra == "protocols", bench.ExtraProtocols(d))
+	show(wantAll || *extra == "illinois", bench.ExtraIllinois(d))
+}

@@ -1,0 +1,163 @@
+// Command pimsim runs one KL1 benchmark on the simulated PIM cluster
+// under one cache configuration and prints the full statistics: the
+// workload summary, references by area and operation, bus cycles by area
+// and access pattern, cache hit ratios, and lock-protocol effectiveness.
+//
+// Usage:
+//
+//	pimsim -bench Tri                      # paper base configuration
+//	pimsim -bench Puzzle -pes 4 -opts none
+//	pimsim -bench Semi -scale 128 -cache 8192 -block 8 -ways 2
+//	pimsim -bench Pascal -protocol illinois
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pimcache/internal/bench"
+	"pimcache/internal/bench/programs"
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/mem"
+	"pimcache/internal/stats"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "Tri", "benchmark: Tri, Semi, Puzzle, Pascal")
+		scale     = flag.Int("scale", 0, "benchmark scale (0 = default)")
+		pes       = flag.Int("pes", 8, "number of processing elements")
+		size      = flag.Int("cache", 4<<10, "cache size in data words")
+		block     = flag.Int("block", 4, "cache block size in words")
+		ways      = flag.Int("ways", 4, "set associativity")
+		optsName  = flag.String("opts", "all", "optimized commands: none, heap, goal, comm, all")
+		protocol  = flag.String("protocol", "pim", "coherence protocol: pim, illinois, writethrough")
+		width     = flag.Int("buswidth", 1, "bus width in words")
+	)
+	flag.Parse()
+
+	b, ok := programs.ByName(*benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pimsim: unknown benchmark %q\n", *benchName)
+		os.Exit(2)
+	}
+	if *scale == 0 {
+		*scale = b.DefaultScale
+	}
+	var opts cache.Options
+	switch *optsName {
+	case "none":
+		opts = cache.OptionsNone()
+	case "heap":
+		opts = cache.OptionsHeap()
+	case "goal":
+		opts = cache.OptionsGoal()
+	case "comm":
+		opts = cache.OptionsComm()
+	case "all":
+		opts = cache.OptionsAll()
+	default:
+		fmt.Fprintf(os.Stderr, "pimsim: unknown -opts %q\n", *optsName)
+		os.Exit(2)
+	}
+	ccfg := cache.Config{
+		SizeWords: *size, BlockWords: *block, Ways: *ways,
+		LockEntries: 4, Options: opts,
+	}
+	switch *protocol {
+	case "pim":
+	case "illinois":
+		ccfg.Protocol = cache.ProtocolIllinois
+	case "writethrough":
+		ccfg.Protocol = cache.ProtocolWriteThrough
+	default:
+		fmt.Fprintf(os.Stderr, "pimsim: unknown -protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+	if err := ccfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "pimsim:", err)
+		os.Exit(2)
+	}
+
+	rd, _, err := bench.RunLiveTiming(b, *scale, *pes, ccfg,
+		bus.Timing{MemCycles: 8, WidthWords: *width}, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimsim:", err)
+		os.Exit(1)
+	}
+	printReport(b, rd, ccfg)
+}
+
+func printReport(b programs.Benchmark, rd *bench.RunData, ccfg cache.Config) {
+	res := rd.Result
+	fmt.Printf("%s (scale %d) on %d PEs — %s\n", rd.Bench, rd.Scale, rd.PEs, b.Description)
+	fmt.Printf("cache: %d words, %d-word blocks, %d-way, protocol %s\n\n",
+		ccfg.SizeWords, ccfg.BlockWords, ccfg.Ways, ccfg.Protocol)
+
+	sum := &stats.Table{Title: "Run summary", Columns: []string{"metric", "value"}}
+	sum.AddRow("output", fmt.Sprintf("%q", res.Output))
+	sum.AddRow("reductions", fmt.Sprint(res.Emu.Reductions))
+	sum.AddRow("suspensions", fmt.Sprint(res.Emu.Suspensions))
+	sum.AddRow("resumptions", fmt.Sprint(res.Emu.Resumptions))
+	sum.AddRow("goals spawned", fmt.Sprint(res.Emu.Spawns))
+	sum.AddRow("goals migrated", fmt.Sprint(res.Emu.GoalsStolen))
+	sum.AddRow("instructions", fmt.Sprint(res.Emu.Instructions))
+	sum.AddRow("memory references", fmt.Sprint(rd.Cache.TotalRefs()))
+	sum.AddRow("machine rounds", fmt.Sprint(res.Rounds))
+	fmt.Println(sum)
+
+	cs := rd.Cache
+	areas := &stats.Table{Title: "Memory references by area and operation",
+		Columns: []string{"area", "R", "W", "LR", "UW", "U", "DW", "ER", "RP", "RI", "total"}}
+	for a := mem.AreaInst; a <= mem.AreaComm; a++ {
+		row := make([]string, 0, 10)
+		for op := cache.Op(0); op < cache.NumOps; op++ {
+			row = append(row, fmt.Sprint(cs.Refs[a][op]))
+		}
+		row = append(row, fmt.Sprint(cs.RefsByArea(a)))
+		areas.AddRow(a.String(), row...)
+	}
+	fmt.Println(areas)
+
+	bs := rd.Bus
+	busT := &stats.Table{Title: "Common bus", Columns: []string{"metric", "value"}}
+	busT.AddRow("total cycles", fmt.Sprint(bs.TotalCycles))
+	for a := mem.AreaInst; a <= mem.AreaComm; a++ {
+		busT.AddRow("cycles in "+a.String(),
+			fmt.Sprintf("%d (%.1f%%)", bs.CyclesByArea[a], stats.Pct(bs.CyclesByArea[a], bs.TotalCycles)))
+	}
+	for p := bus.Pattern(0); p < bus.NumPatterns; p++ {
+		busT.AddRow(p.String(),
+			fmt.Sprintf("%d ops, %d cycles", bs.CountByPattern[p], bs.CyclesByPattern[p]))
+	}
+	for c := bus.Command(0); c < bus.NumCommands; c++ {
+		busT.AddRow(c.String()+" commands", fmt.Sprint(bs.Commands[c]))
+	}
+	busT.AddRow("memory-module busy cycles", fmt.Sprint(bs.MemBusyCycles))
+	fmt.Println(busT)
+
+	ct := &stats.Table{Title: "Cache behaviour", Columns: []string{"metric", "value"}}
+	ct.AddRow("miss ratio", fmt.Sprintf("%.4f", cs.MissRatio()))
+	ct.AddRow("DW applied/degraded", fmt.Sprintf("%d/%d", cs.DWApplied, cs.DWDegraded))
+	ct.AddRow("ER invalidate/purge/degraded", fmt.Sprintf("%d/%d/%d", cs.ERInval, cs.ERPurge, cs.ERDegraded))
+	ct.AddRow("RP applied/degraded", fmt.Sprintf("%d/%d", cs.RPApplied, cs.RPDegraded))
+	ct.AddRow("RI applied/degraded", fmt.Sprintf("%d/%d", cs.RIApplied, cs.RIDegraded))
+	ct.AddRow("dirty blocks purged (dead data)", fmt.Sprint(cs.PurgedDirty))
+	ct.AddRow("swap-outs", fmt.Sprint(cs.SwapOuts))
+	ct.AddRow("LR hit ratio", fmt.Sprintf("%.3f", stats.Ratio(cs.LRHits(), cs.LRTotal())))
+	ct.AddRow("LR hit-to-exclusive", fmt.Sprintf("%.3f", stats.Ratio(cs.LRHitExclusive, cs.LRTotal())))
+	ct.AddRow("unlocks with no waiter", fmt.Sprintf("%.3f",
+		stats.Ratio(cs.UnlockNoWaiter, cs.UnlockNoWaiter+cs.UnlockWaiter)))
+	ct.AddRow("busy waits", fmt.Sprint(cs.BusyWaits))
+	fmt.Println(ct)
+
+	bal := &stats.Table{Title: "Per-PE balance",
+		Columns: []string{"PE", "reductions", "suspensions", "sent", "stolen"}}
+	for i, st := range res.PerPE {
+		bal.AddRow(fmt.Sprint(i), fmt.Sprint(st.Reductions),
+			fmt.Sprint(st.Suspensions), fmt.Sprint(st.GoalsSent), fmt.Sprint(st.GoalsStolen))
+	}
+	fmt.Println(bal)
+}

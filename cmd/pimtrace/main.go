@@ -1,0 +1,210 @@
+// Command pimtrace records, inspects, generates, and replays memory-
+// reference traces — the trace-driven half of the paper's methodology.
+//
+// Usage:
+//
+//	pimtrace record -bench Tri -o tri.trc         # emulate + record
+//	pimtrace synth -kind orparallel -o or.trc     # synthetic workload
+//	pimtrace info tri.trc                         # header + op histogram
+//	pimtrace replay -cache 8192 -block 8 tri.trc  # replay vs a config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pimcache/internal/bench"
+	"pimcache/internal/bench/programs"
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/machine"
+	"pimcache/internal/mem"
+	"pimcache/internal/stats"
+	"pimcache/internal/synth"
+	"pimcache/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "synth":
+		synthesize(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pimtrace {record|synth|info|replay} [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pimtrace:", err)
+	os.Exit(1)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	benchName := fs.String("bench", "Tri", "benchmark to record")
+	scale := fs.Int("scale", 0, "benchmark scale (0 = default)")
+	pes := fs.Int("pes", 8, "processing elements")
+	out := fs.String("o", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fatal(fmt.Errorf("record: -o required"))
+	}
+	b, ok := programs.ByName(*benchName)
+	if !ok {
+		fatal(fmt.Errorf("unknown benchmark %q", *benchName))
+	}
+	if *scale == 0 {
+		*scale = b.DefaultScale
+	}
+	_, tr, err := bench.RunLive(b, *scale, *pes, bench.BaseCache(cache.OptionsAll()), true)
+	if err != nil {
+		fatal(err)
+	}
+	writeTrace(tr, *out)
+	fmt.Printf("recorded %d references from %s (scale %d, %d PEs) to %s\n",
+		tr.Len(), b.Name, *scale, *pes, *out)
+}
+
+func synthesize(args []string) {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	kind := fs.String("kind", "orparallel", "seqprolog, orparallel, or ring")
+	pes := fs.Int("pes", 8, "processing elements")
+	events := fs.Int("events", 200_000, "approximate reference count")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fatal(fmt.Errorf("synth: -o required"))
+	}
+	c := synth.DefaultConfig()
+	c.PEs, c.Events, c.Seed = *pes, *events, *seed
+	var tr *trace.Trace
+	switch *kind {
+	case "seqprolog":
+		tr = synth.SeqProlog(c)
+	case "orparallel":
+		tr = synth.ORParallel(c)
+	case "ring":
+		tr = synth.MessageRing(c)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	writeTrace(tr, *out)
+	fmt.Printf("generated %d %s references to %s\n", tr.Len(), *kind, *out)
+}
+
+func info(args []string) {
+	if len(args) != 1 {
+		fatal(fmt.Errorf("info: one trace file expected"))
+	}
+	tr := readTrace(args[0])
+	var byOp [cache.NumOps]uint64
+	var byPE [256]uint64
+	for _, r := range tr.Refs {
+		byOp[r.Op]++
+		byPE[r.PE]++
+	}
+	fmt.Printf("%s: %d references, %d PEs\n", args[0], tr.Len(), tr.PEs)
+	t := &stats.Table{Columns: []string{"op", "count", "%"}}
+	for op := cache.Op(0); op < cache.NumOps; op++ {
+		t.AddRow(op.String(), fmt.Sprint(byOp[op]),
+			fmt.Sprintf("%.2f", stats.Pct(byOp[op], uint64(tr.Len()))))
+	}
+	fmt.Println(t)
+	t2 := &stats.Table{Columns: []string{"PE", "refs"}}
+	for pe := 0; pe < tr.PEs; pe++ {
+		t2.AddRow(fmt.Sprint(pe), fmt.Sprint(byPE[pe]))
+	}
+	fmt.Println(t2)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	size := fs.Int("cache", 4<<10, "cache size in data words")
+	block := fs.Int("block", 4, "block size in words")
+	ways := fs.Int("ways", 4, "associativity")
+	optsName := fs.String("opts", "all", "none, heap, goal, comm, all")
+	width := fs.Int("buswidth", 1, "bus width in words")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("replay: one trace file expected"))
+	}
+	tr := readTrace(fs.Arg(0))
+	var opts cache.Options
+	switch *optsName {
+	case "none":
+		opts = cache.OptionsNone()
+	case "heap":
+		opts = cache.OptionsHeap()
+	case "goal":
+		opts = cache.OptionsGoal()
+	case "comm":
+		opts = cache.OptionsComm()
+	case "all":
+		opts = cache.OptionsAll()
+	default:
+		fatal(fmt.Errorf("unknown opts %q", *optsName))
+	}
+	ccfg := cache.Config{SizeWords: *size, BlockWords: *block, Ways: *ways,
+		LockEntries: 4, Options: opts}
+	if err := ccfg.Validate(); err != nil {
+		fatal(err)
+	}
+	m := machine.New(machine.Config{
+		PEs: tr.PEs, Layout: tr.Layout, Cache: ccfg,
+		Timing: bus.Timing{MemCycles: 8, WidthWords: *width},
+	})
+	ports := make([]mem.Accessor, tr.PEs)
+	for i := range ports {
+		ports[i] = m.Port(i)
+	}
+	if err := trace.Replay(tr, ports); err != nil {
+		fatal(err)
+	}
+	bs, cs := m.BusStats(), m.CacheStats()
+	fmt.Printf("replayed %d references: %d bus cycles, miss ratio %.4f, mem busy %d\n",
+		tr.Len(), bs.TotalCycles, cs.MissRatio(), bs.MemBusyCycles)
+	for p := bus.Pattern(0); p < bus.NumPatterns; p++ {
+		if bs.CountByPattern[p] > 0 {
+			fmt.Printf("  %-20s %8d ops %10d cycles\n", p, bs.CountByPattern[p], bs.CyclesByPattern[p])
+		}
+	}
+}
+
+func writeTrace(tr *trace.Trace, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := tr.Write(f); err != nil {
+		fatal(err)
+	}
+}
+
+func readTrace(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	return tr
+}

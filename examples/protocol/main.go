@@ -1,0 +1,100 @@
+// Protocol walkthrough: drive two caches by hand through the PIM
+// coherence protocol and print each block-state transition, including the
+// SM state that distinguishes PIM from Illinois, the optimized commands
+// (DW, ER, RI), and the lock directory's busy-wait path.
+//
+//	go run ./examples/protocol
+package main
+
+import (
+	"fmt"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/mem"
+)
+
+func main() {
+	layout := mem.Layout{InstWords: 64, HeapWords: 4096, GoalWords: 256, SuspWords: 64, CommWords: 64}
+	memory := mem.New(layout)
+	b := bus.New(bus.Config{Timing: bus.DefaultTiming(), BlockWords: 4}, memory)
+	cfg := cache.Config{
+		SizeWords: 64, BlockWords: 4, Ways: 4, LockEntries: 2,
+		Options: cache.OptionsAll(),
+	}
+	c0 := cache.New(cfg, 0, b)
+	c1 := cache.New(cfg, 1, b)
+	heap := memory.Bounds().HeapBase
+	goal := memory.Bounds().GoalBase
+
+	show := func(what string, a word.Addr) {
+		st := b.Stats()
+		fmt.Printf("%-46s PE0=%-3v PE1=%-3v bus=%d cycles\n",
+			what, c0.StateOf(a), c1.StateOf(a), st.TotalCycles)
+	}
+
+	fmt.Println("--- plain reads and writes (the five states) ---")
+	memory.Write(heap, word.Int(7))
+	c0.Read(heap)
+	show("PE0 R (miss from memory)", heap)
+	c1.Read(heap)
+	show("PE1 R (cache-to-cache, both shared)", heap)
+	c0.Write(heap, word.Int(8))
+	show("PE0 W (invalidates PE1)", heap)
+	c1.Read(heap)
+	show("PE1 R (dirty transfer: PE0 keeps ownership as SM)", heap)
+	fmt.Println()
+
+	fmt.Println("--- direct write: allocation without fetch ---")
+	before := b.Stats().TotalCycles
+	c0.DirectWrite(heap+64, word.Int(1))
+	c0.DirectWrite(heap+65, word.Int(2))
+	after := b.Stats().TotalCycles
+	show(fmt.Sprintf("PE0 DW x2 (cost %d cycles)", after-before), heap+64)
+	fmt.Println()
+
+	fmt.Println("--- exclusive read: write-once/read-once goal records ---")
+	for i := word.Addr(0); i < 4; i++ {
+		c0.DirectWrite(goal+i, word.Int(int64(i)))
+	}
+	show("PE0 DW goal record", goal)
+	for i := word.Addr(0); i < 4; i++ {
+		c1.ExclusiveRead(goal + i)
+	}
+	show("PE1 ER record (supplier invalidated, copy purged)", goal)
+	fmt.Println()
+
+	fmt.Println("--- read invalidate: message buffers ---")
+	comm := memory.Bounds().CommBase
+	c0.Write(comm, word.Int(42))
+	show("PE0 W message", comm)
+	c1.ReadInvalidate(comm)
+	show("PE1 RI (takes block exclusively)", comm)
+	preI := b.Stats().Commands[bus.CmdI]
+	c1.Write(comm, word.Int(0))
+	show(fmt.Sprintf("PE1 W reply (invalidate commands: %d, unchanged)",
+		b.Stats().Commands[bus.CmdI]-preI), comm)
+	fmt.Println()
+
+	fmt.Println("--- lock directory: LR/UW and busy waiting ---")
+	v := heap + 128
+	memory.Write(v, word.Unbound(v))
+	if _, ok := c0.LockRead(v); !ok {
+		panic("unexpected conflict")
+	}
+	show("PE0 LR (lock registered, block exclusive)", v)
+	if _, ok := c1.LockRead(v); ok {
+		panic("lock conflict not detected")
+	}
+	fmt.Printf("PE1 LR -> LH response, busy-waiting on %#x\n", v)
+	c0.UnlockWrite(v, word.Int(99))
+	fmt.Printf("PE0 UW -> UL broadcast (PE1 blocked: %v)\n", c1.Blocked())
+	if w, ok := c1.LockRead(v); ok {
+		fmt.Printf("PE1 LR retry succeeds, reads %v\n", w)
+		c1.Unlock(v)
+	}
+	lockStats := c0.Stats()
+	fmt.Printf("PE0 no-cost unlocks: %d of %d\n",
+		lockStats.UnlockNoWaiter, lockStats.UnlockNoWaiter+lockStats.UnlockWaiter)
+}

@@ -1,0 +1,50 @@
+// Quickstart: run one of the paper's KL1 benchmarks on the simulated
+// eight-PE PIM cluster with the optimized cache, verify the computed
+// answer, and print the headline cache metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pimcache/internal/bench"
+	"pimcache/internal/bench/programs"
+	"pimcache/internal/cache"
+)
+
+func main() {
+	// Pick the Pascal benchmark at a small scale: a chain of stream
+	// processes computing rows of Pascal's triangle.
+	b, _ := programs.ByName("Pascal")
+	scale := 12
+
+	// Run it twice: once on the unoptimized cache, once with the paper's
+	// optimized memory commands (DW in the heap, ER/RP/DW in the goal
+	// area, RI in the communication area).
+	plain, _, err := bench.RunLive(b, scale, 8, bench.BaseCache(cache.OptionsNone()), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimized, _, err := bench.RunLive(b, scale, 8, bench.BaseCache(cache.OptionsAll()), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark: %s (scale %d) on 8 PEs\n", b.Name, scale)
+	fmt.Printf("answer:    %s", optimized.Result.Output)
+	fmt.Printf("reductions: %d, suspensions: %d, goal migrations: %d\n\n",
+		optimized.Result.Emu.Reductions,
+		optimized.Result.Emu.Suspensions,
+		optimized.Result.Emu.GoalsStolen)
+
+	p, o := plain.Bus.TotalCycles, optimized.Bus.TotalCycles
+	fmt.Printf("bus cycles, unoptimized cache: %d\n", p)
+	fmt.Printf("bus cycles, optimized cache:   %d (%.0f%% of unoptimized)\n",
+		o, 100*float64(o)/float64(p))
+	fmt.Printf("direct writes applied:         %d (swap-ins avoided)\n",
+		optimized.Cache.DWApplied)
+	fmt.Printf("dirty blocks purged by ER/RP:  %d (swap-outs avoided)\n",
+		optimized.Cache.PurgedDirty)
+}

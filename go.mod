@@ -1,0 +1,3 @@
+module pimcache
+
+go 1.22

@@ -1,0 +1,418 @@
+// Package bench reproduces the paper's evaluation: it runs the four KL1
+// benchmarks on the simulated PIM cluster and regenerates every table
+// (1-5) and figure (1-3) of Section 4, plus the in-text experiments
+// (two-word bus, optimization detail, Illinois comparison).
+//
+// The harness follows the paper's methodology: execution-driven emulation
+// produces per-benchmark reference streams; configuration sweeps replay
+// the recorded stream against different cache organizations (the stream
+// is configuration-independent — see package trace).
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/kl1/compile"
+	"pimcache/internal/kl1/emulator"
+	"pimcache/internal/kl1/parser"
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/machine"
+	"pimcache/internal/mem"
+	"pimcache/internal/trace"
+
+	"pimcache/internal/bench/programs"
+)
+
+// Options configures a collection run.
+type Options struct {
+	// Quick selects reduced benchmark scales (seconds instead of
+	// minutes).
+	Quick bool
+	// PEs is the cluster size for the main experiments (paper: 8).
+	PEs int
+	// PESweep lists the cluster sizes for Figure 3.
+	PESweep []int
+	// BlockSizes lists block sizes (words) for Figure 1.
+	BlockSizes []int
+	// Capacities lists cache sizes (words) for Figure 2.
+	Capacities []int
+	// Associativities lists way counts for the Section 4.3 ablation
+	// (paper: two-way costs ~18% more traffic than four-way; direct
+	// mapped significantly more).
+	Associativities []int
+	// SkipSweeps omits the Figure 1/2 sweeps and extras (for table-only
+	// runs).
+	SkipSweeps bool
+	// Benchmarks restricts the set (nil = all four).
+	Benchmarks []string
+	// Progress, when non-nil, receives progress lines.
+	Progress io.Writer
+}
+
+// DefaultOptions mirrors the paper's evaluation.
+func DefaultOptions() Options {
+	return Options{
+		PEs:             8,
+		PESweep:         []int{1, 2, 4, 8},
+		BlockSizes:      []int{1, 2, 4, 8, 16},
+		Capacities:      []int{512, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10},
+		Associativities: []int{1, 2, 4, 8},
+	}
+}
+
+// quickScales are reduced workloads for fast iterations.
+var quickScales = map[string]int{"Tri": 7, "Semi": 128, "Puzzle": 4, "Pascal": 12, "BUP": 10, "PuzzleVec": 4}
+
+// ScaleFor returns the scale a benchmark runs at under the options.
+func (o Options) ScaleFor(b programs.Benchmark) int {
+	if o.Quick {
+		if s, ok := quickScales[b.Name]; ok {
+			return s
+		}
+		return b.SmallScale
+	}
+	return b.DefaultScale
+}
+
+// Layout is the memory layout used by all benchmark runs.
+func Layout() mem.Layout {
+	return mem.Layout{
+		InstWords: 64 << 10,
+		HeapWords: 8 << 20,
+		GoalWords: 1 << 20,
+		SuspWords: 256 << 10,
+		CommWords: 64 << 10,
+	}
+}
+
+// BaseCache returns the paper's base cache (4Kword, 4-word blocks,
+// 4-way) with the given optimized-command options.
+func BaseCache(opts cache.Options) cache.Config {
+	cfg := cache.DefaultConfig()
+	cfg.Options = opts
+	return cfg
+}
+
+// RunData captures one live run.
+type RunData struct {
+	Bench  string
+	PEs    int
+	Scale  int
+	Result emulator.Result
+	Bus    bus.Stats
+	Cache  cache.Stats
+}
+
+// RunLive compiles and runs benchmark b at the given scale/PE count under
+// ccfg with the paper's base bus timing, optionally recording the
+// reference stream. Output is verified against the benchmark's Go
+// reference implementation.
+func RunLive(b programs.Benchmark, scale, pes int, ccfg cache.Config, record bool) (*RunData, *trace.Trace, error) {
+	return RunLiveTiming(b, scale, pes, ccfg, bus.DefaultTiming(), record)
+}
+
+// RunLiveTiming is RunLive with explicit bus timing.
+func RunLiveTiming(b programs.Benchmark, scale, pes int, ccfg cache.Config, timing bus.Timing, record bool) (*RunData, *trace.Trace, error) {
+	prog, err := parser.Parse(b.Source(scale))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: parse: %w", b.Name, err)
+	}
+	im, err := compile.Compile(prog, word.NewTable())
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: compile: %w", b.Name, err)
+	}
+	mcfg := machine.Config{PEs: pes, Layout: Layout(), Cache: ccfg, Timing: timing}
+	m := machine.New(mcfg)
+	sh, err := emulator.NewShared(im, m.Memory(), pes, emulator.DefaultConfig())
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	var rec *trace.Recorder
+	if record {
+		rec = trace.NewRecorder(pes, Layout())
+	}
+	cl := &emulator.Cluster{Machine: m, Shared: sh}
+	for i := 0; i < pes; i++ {
+		port := mem.Accessor(m.Port(i))
+		if rec != nil {
+			port = rec.Port(i, port)
+		}
+		e, err := emulator.NewEngine(sh, i, port)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		cl.Engines = append(cl.Engines, e)
+		m.Attach(i, e)
+	}
+	res := cl.Run(0)
+	if res.Failed {
+		return nil, nil, fmt.Errorf("%s: program failed: %s", b.Name, res.FailReason)
+	}
+	if want := b.Expected(scale); res.Output != want {
+		return nil, nil, fmt.Errorf("%s: wrong answer %q (want %q)", b.Name, res.Output, want)
+	}
+	data := &RunData{
+		Bench:  b.Name,
+		PEs:    pes,
+		Scale:  scale,
+		Result: res,
+		Bus:    m.BusStats(),
+		Cache:  m.CacheStats(),
+	}
+	var tr *trace.Trace
+	if rec != nil {
+		tr = rec.Trace()
+	}
+	return data, tr, nil
+}
+
+// ReplayConfig replays a recorded stream against a cache configuration
+// and bus timing, returning the resulting statistics.
+func ReplayConfig(tr *trace.Trace, ccfg cache.Config, timing bus.Timing) (bus.Stats, cache.Stats, error) {
+	mcfg := machine.Config{PEs: tr.PEs, Layout: tr.Layout, Cache: ccfg, Timing: timing}
+	m := machine.New(mcfg)
+	ports := make([]mem.Accessor, tr.PEs)
+	for i := range ports {
+		ports[i] = m.Port(i)
+	}
+	if err := trace.Replay(tr, ports); err != nil {
+		return bus.Stats{}, cache.Stats{}, err
+	}
+	return m.BusStats(), m.CacheStats(), nil
+}
+
+// SweepPoint is one configuration point of a Figure 1/2 sweep.
+type SweepPoint struct {
+	// Param is the swept value (block words or capacity words).
+	Param int
+	// MissRatio over all data-accessing operations.
+	MissRatio float64
+	// BusCycles is total common-bus cycles.
+	BusCycles uint64
+	// DirectoryBits is the Figure 2 x-axis metric.
+	DirectoryBits int
+}
+
+// OptVariants are the Table 4 columns in order.
+var OptVariants = []struct {
+	Name string
+	Opts cache.Options
+}{
+	{"None", cache.OptionsNone()},
+	{"Heap", cache.OptionsHeap()},
+	{"Goal", cache.OptionsGoal()},
+	{"Comm", cache.OptionsComm()},
+	{"All", cache.OptionsAll()},
+}
+
+// BenchData aggregates everything measured for one benchmark.
+type BenchData struct {
+	Name  string
+	Lines int
+	Scale int
+
+	// LiveByPEs are all-optimization live runs per cluster size
+	// (Figure 3, Table 1).
+	LiveByPEs map[int]*RunData
+
+	// Refs (issued operations by area) from the PEs-sized run; identical
+	// across cache configurations.
+	Refs cache.Stats
+
+	// OptBus/OptCache hold replayed statistics per Table 4 variant
+	// ("None" is the paper's base configuration used by Tables 2 and 5).
+	OptBus   map[string]bus.Stats
+	OptCache map[string]cache.Stats
+
+	// BlockSweep and CapSweep are the Figure 1/2 points (all opts);
+	// WaySweep is the Section 4.3 associativity ablation.
+	BlockSweep []SweepPoint
+	CapSweep   []SweepPoint
+	WaySweep   []SweepPoint
+
+	// Width2 is the two-word-bus replay (Section 4.4), all opts.
+	Width2 bus.Stats
+	// Illinois is the Illinois-protocol replay (Section 3.1 comparison),
+	// no optimized commands.
+	Illinois bus.Stats
+	// WriteThrough is the write-through baseline replay (the premise of
+	// Section 3: copy-back reduces bus traffic, especially for
+	// write-heavy logic programs).
+	WriteThrough bus.Stats
+}
+
+// Data is a full evaluation dataset.
+type Data struct {
+	Options Options
+	Benches []*BenchData
+}
+
+// Collect runs the whole evaluation. Each benchmark's trace is recorded
+// once (at Options.PEs) and replayed across configurations, then
+// discarded before the next benchmark to bound memory.
+func Collect(o Options) (*Data, error) {
+	if o.PEs == 0 {
+		o = mergeDefaults(o)
+	}
+	progress := func(format string, args ...interface{}) {
+		if o.Progress != nil {
+			fmt.Fprintf(o.Progress, format+"\n", args...)
+		}
+	}
+	data := &Data{Options: o}
+	pool := programs.All()
+	if len(o.Benchmarks) > 0 {
+		// Explicit selections may include the extra benchmarks (BUP,
+		// PuzzleVec).
+		pool = programs.AllWithExtras()
+	}
+	for _, b := range pool {
+		if !benchSelected(o, b.Name) {
+			continue
+		}
+		scale := o.ScaleFor(b)
+		bd := &BenchData{
+			Name:      b.Name,
+			Scale:     scale,
+			Lines:     b.Lines(),
+			LiveByPEs: map[int]*RunData{},
+			OptBus:    map[string]bus.Stats{},
+			OptCache:  map[string]cache.Stats{},
+		}
+		// Live PE sweep with all optimizations (Figure 3, Table 1).
+		var tr *trace.Trace
+		for _, pes := range o.PESweep {
+			progress("%s: live run on %d PEs (scale %d)", b.Name, pes, scale)
+			record := pes == o.PEs
+			rd, t, err := RunLive(b, scale, pes, BaseCache(cache.OptionsAll()), record)
+			if err != nil {
+				return nil, err
+			}
+			bd.LiveByPEs[pes] = rd
+			if record {
+				tr = t
+				bd.Refs = rd.Cache
+			}
+		}
+		if tr == nil {
+			return nil, fmt.Errorf("%s: PESweep %v does not include PEs=%d", b.Name, o.PESweep, o.PEs)
+		}
+		// Table 4 variants.
+		for _, v := range OptVariants {
+			progress("%s: replay %s (%d refs)", b.Name, v.Name, tr.Len())
+			bs, cs, err := ReplayConfig(tr, BaseCache(v.Opts), bus.DefaultTiming())
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", b.Name, v.Name, err)
+			}
+			bd.OptBus[v.Name] = bs
+			bd.OptCache[v.Name] = cs
+		}
+		if !o.SkipSweeps {
+			// Figure 1: block sizes.
+			for _, bw := range o.BlockSizes {
+				progress("%s: replay block=%d", b.Name, bw)
+				cfg := BaseCache(cache.OptionsAll())
+				cfg.BlockWords = bw
+				bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
+				if err != nil {
+					return nil, fmt.Errorf("%s/block%d: %w", b.Name, bw, err)
+				}
+				bd.BlockSweep = append(bd.BlockSweep, SweepPoint{
+					Param: bw, MissRatio: cs.MissRatio(), BusCycles: bs.TotalCycles,
+					DirectoryBits: cfg.DirectoryBits(),
+				})
+			}
+			// Figure 2: capacities.
+			for _, size := range o.Capacities {
+				progress("%s: replay capacity=%d", b.Name, size)
+				cfg := BaseCache(cache.OptionsAll())
+				cfg.SizeWords = size
+				bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
+				if err != nil {
+					return nil, fmt.Errorf("%s/size%d: %w", b.Name, size, err)
+				}
+				bd.CapSweep = append(bd.CapSweep, SweepPoint{
+					Param: size, MissRatio: cs.MissRatio(), BusCycles: bs.TotalCycles,
+					DirectoryBits: cfg.DirectoryBits(),
+				})
+			}
+			// Associativity ablation (Section 4.3).
+			for _, ways := range o.Associativities {
+				progress("%s: replay ways=%d", b.Name, ways)
+				cfg := BaseCache(cache.OptionsAll())
+				cfg.Ways = ways
+				bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
+				if err != nil {
+					return nil, fmt.Errorf("%s/ways%d: %w", b.Name, ways, err)
+				}
+				bd.WaySweep = append(bd.WaySweep, SweepPoint{
+					Param: ways, MissRatio: cs.MissRatio(), BusCycles: bs.TotalCycles,
+				})
+			}
+			// Two-word bus (Section 4.4).
+			progress("%s: replay two-word bus", b.Name)
+			w2, _, err := ReplayConfig(tr, BaseCache(cache.OptionsAll()),
+				bus.Timing{MemCycles: 8, WidthWords: 2})
+			if err != nil {
+				return nil, err
+			}
+			bd.Width2 = w2
+			// Illinois baseline (Section 3.1).
+			progress("%s: replay Illinois", b.Name)
+			ill := BaseCache(cache.OptionsNone())
+			ill.Protocol = cache.ProtocolIllinois
+			ibs, _, err := ReplayConfig(tr, ill, bus.DefaultTiming())
+			if err != nil {
+				return nil, err
+			}
+			bd.Illinois = ibs
+			// Write-through baseline (Section 3 premise).
+			progress("%s: replay write-through", b.Name)
+			wt := BaseCache(cache.OptionsNone())
+			wt.Protocol = cache.ProtocolWriteThrough
+			wbs, _, err := ReplayConfig(tr, wt, bus.DefaultTiming())
+			if err != nil {
+				return nil, err
+			}
+			bd.WriteThrough = wbs
+		}
+		data.Benches = append(data.Benches, bd)
+	}
+	return data, nil
+}
+
+func mergeDefaults(o Options) Options {
+	d := DefaultOptions()
+	d.Quick = o.Quick
+	d.SkipSweeps = o.SkipSweeps
+	d.Benchmarks = o.Benchmarks
+	d.Progress = o.Progress
+	if o.PESweep != nil {
+		d.PESweep = o.PESweep
+	}
+	if o.BlockSizes != nil {
+		d.BlockSizes = o.BlockSizes
+	}
+	if o.Capacities != nil {
+		d.Capacities = o.Capacities
+	}
+	if o.Associativities != nil {
+		d.Associativities = o.Associativities
+	}
+	return d
+}
+
+func benchSelected(o Options, name string) bool {
+	if len(o.Benchmarks) == 0 {
+		return true
+	}
+	for _, b := range o.Benchmarks {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}

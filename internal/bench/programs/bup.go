@@ -1,0 +1,169 @@
+package programs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BUP is a fifth, extra benchmark after the bottom-up parser the paper's
+// earlier study used ("over 80% of all shared memory for the BUP
+// benchmark", Section 4.3, citing Matsumoto's TR-327). It is a CYK chart
+// parser in FGHC over a small ambiguous CNF grammar: the chart is built
+// row by row (span length 1..n), each cell combining pairs of shorter
+// spans under the rule table — long list scans over a growing shared
+// structure, the heap-dominant read-heavy profile of parsing workloads.
+//
+// Scale is the input length n (the string a^n); the answer is the number
+// of parse trees of the start symbol over the whole input, checked
+// against a native CYK counter.
+//
+// BUP is not part of the paper's four-benchmark tables (All()); it is
+// available through ByName and AllWithExtras.
+func BUP() Benchmark {
+	// Grammar in CNF over integer-coded symbols.
+	// Nonterminals: 1 = S (start), 2 = A. Terminal: the token 'a'.
+	// Productions: S -> S S | A S ; A -> S S. Terminals: S -> a, A -> a.
+	rules := [][3]int{{1, 1, 1}, {1, 2, 1}, {2, 1, 1}}
+	termCells := map[string][]int{"a": {1, 2}} // token -> nonterminals
+	src := func(scale int) string {
+		if scale < 2 {
+			scale = 2
+		}
+		var toks []string
+		for i := 0; i < scale; i++ {
+			toks = append(toks, "a")
+		}
+		var rs []string
+		for _, r := range rules {
+			rs = append(rs, fmt.Sprintf("r(%d,%d,%d)", r[0], r[1], r[2]))
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "main :- true | parse([%s], %d).\n", strings.Join(toks, ","), scale)
+		fmt.Fprintf(&sb, "rules(Rs) :- true | Rs = [%s].\n", strings.Join(rs, ","))
+		sb.WriteString(`
+parse(Ws, N) :- true | base(Ws, Row1), grow(1, N, [Row1], Rows), answer(Rows, N).
+% Row 1: terminal cells.
+base([], R) :- true | R = [].
+base([W|Ws], R) :- true | tcell(W, C), R = [C|R1], base(Ws, R1).
+tcell(a, C) :- true | C = [p(1,1),p(2,1)].
+tcell(_, C) :- otherwise | C = [].
+% grow builds rows for span lengths 2..N; Rows holds rows 1..L in order.
+grow(N, N, Rows, Out) :- true | Out = Rows.
+grow(L, N, Rows, Out) :- L < N |
+    L1 := L + 1, Last := N - L1,
+    mkrow(0, Last, L1, Rows, Row),
+    app(Rows, [Row], Rows1),
+    grow(L1, N, Rows1, Out).
+% mkrow fills the cells of the row for span length L.
+mkrow(I, Last, _, _, Row) :- I > Last | Row = [].
+mkrow(I, Last, L, Rows, Row) :- I =< Last |
+    cellv(1, L, I, Rows, [], C),
+    Row = [C|Row1],
+    I1 := I + 1,
+    mkrow(I1, Last, L, Rows, Row1).
+% cellv combines split points K = 1..L-1.
+cellv(K, L, _, _, Acc, C) :- K >= L | C = Acc.
+cellv(K, L, I, Rows, Acc, C) :- K < L |
+    K1 := K - 1, nth(K1, Rows, RowL),
+    nth(I, RowL, Left),
+    KR := L - K, KR1 := KR - 1, nth(KR1, Rows, RowR),
+    IR := I + K, nth(IR, RowR, Right),
+    pairs(Left, Right, Acc, Acc1),
+    KN := K + 1,
+    cellv(KN, L, I, Rows, Acc1, C).
+% pairs crosses the left and right cell entries under the rule table.
+pairs([], _, Acc, Out) :- true | Out = Acc.
+pairs([p(B,CB)|Ls], Right, Acc, Out) :- true |
+    pairs1(Right, B, CB, Acc, Acc1),
+    pairs(Ls, Right, Acc1, Out).
+pairs1([], _, _, Acc, Out) :- true | Out = Acc.
+pairs1([p(C2,CC)|Rs], B, CB, Acc, Out) :- true |
+    rules(Rules),
+    scan(Rules, B, C2, CB, CC, Acc, Acc1),
+    pairs1(Rs, B, CB, Acc1, Out).
+scan([], _, _, _, _, Acc, Out) :- true | Out = Acc.
+scan([r(A,B1,C1)|Rs], B, C, CB, CC, Acc, Out) :- B1 =:= B, C1 =:= C |
+    Add := CB * CC, bump(A, Add, Acc, Acc1),
+    scan(Rs, B, C, CB, CC, Acc1, Out).
+scan([_|Rs], B, C, CB, CC, Acc, Out) :- otherwise |
+    scan(Rs, B, C, CB, CC, Acc, Out).
+% bump adds Add to nonterminal A's count in the association list.
+bump(A, Add, [], Out) :- true | Out = [p(A, Add)].
+bump(A, Add, [p(A1,C1)|T], Out) :- A1 =:= A |
+    C2 := C1 + Add, Out = [p(A,C2)|T].
+bump(A, Add, [p(A1,C1)|T], Out) :- A1 =\= A |
+    Out = [p(A1,C1)|T1], bump(A, Add, T, T1).
+% answer: the start symbol's count in the full-span cell.
+answer(Rows, N) :- true |
+    N1 := N - 1, nth(N1, Rows, RowN), nth(0, RowN, Cell),
+    lookup(1, Cell, Ans), println(Ans).
+lookup(_, [], Ans) :- true | Ans = 0.
+lookup(A, [p(A1,C)|_], Ans) :- A1 =:= A | Ans = C.
+lookup(A, [p(A1,_)|T], Ans) :- A1 =\= A | lookup(A, T, Ans).
+nth(0, [H|_], X) :- true | X = H.
+nth(I, [_|T], X) :- I > 0 | I1 := I - 1, nth(I1, T, X).
+app([], Y, Z) :- true | Z = Y.
+app([H|T], Y, Z) :- true | Z = [H|Z1], app(T, Y, Z1).
+`)
+		return sb.String()
+	}
+	expected := func(scale int) string {
+		if scale < 2 {
+			scale = 2
+		}
+		toks := make([]string, scale)
+		for i := range toks {
+			toks[i] = "a"
+		}
+		return fmt.Sprintf("%d\n", cykCount(rules, termCells, toks, 1))
+	}
+	return Benchmark{
+		Name:         "BUP",
+		Description:  "bottom-up CYK chart parser over an ambiguous grammar (heap-dominant)",
+		Source:       src,
+		Expected:     expected,
+		DefaultScale: 14,
+		SmallScale:   6,
+	}
+}
+
+// cykCount is the native reference: the number of parse trees of `start`
+// spanning the whole input under the CNF grammar.
+func cykCount(rules [][3]int, terms map[string][]int, input []string, start int) int64 {
+	n := len(input)
+	// chart[l][i] maps nonterminal -> tree count for input[i:i+l].
+	chart := make([][]map[int]int64, n+1)
+	for l := 1; l <= n; l++ {
+		chart[l] = make([]map[int]int64, n)
+		for i := 0; i+l <= n; i++ {
+			chart[l][i] = map[int]int64{}
+		}
+	}
+	for i, w := range input {
+		for _, nt := range terms[w] {
+			chart[1][i][nt]++
+		}
+	}
+	for l := 2; l <= n; l++ {
+		for i := 0; i+l <= n; i++ {
+			for k := 1; k < l; k++ {
+				for b, cb := range chart[k][i] {
+					for c, cc := range chart[l-k][i+k] {
+						for _, r := range rules {
+							if r[1] == b && r[2] == c {
+								chart[l][i][r[0]] += cb * cc
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return chart[n][0][start]
+}
+
+// AllWithExtras returns the paper's four benchmarks plus the extras
+// (BUP, PuzzleVec).
+func AllWithExtras() []Benchmark {
+	return append(All(), BUP(), PuzzleVec())
+}

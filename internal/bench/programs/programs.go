@@ -1,0 +1,447 @@
+// Package programs holds the four KL1 benchmarks of the paper's Table 1 —
+// Tri, Semi, Puzzle and Pascal — reconstructed in FGHC from the paper's
+// structural descriptions (the original ICOT listings in Tick's TR-421
+// are unavailable; see DESIGN.md). Each benchmark carries a scalable
+// source generator and a Go reference implementation that computes the
+// expected output, so every simulated run is checked for functional
+// correctness end to end through the coherence protocol.
+package programs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Benchmark describes one workload.
+type Benchmark struct {
+	// Name as in the paper.
+	Name string
+	// Description of what it stresses.
+	Description string
+	// Source generates FGHC source at the given scale. Meaning of scale
+	// differs per benchmark (see each constructor).
+	Source func(scale int) string
+	// Expected computes the program's correct output at the scale.
+	Expected func(scale int) string
+	// DefaultScale is used by the experiment harness: sized so the four
+	// benchmarks run in seconds while exercising hundreds of thousands
+	// of references each.
+	DefaultScale int
+	// SmallScale is a quick-test scale.
+	SmallScale int
+}
+
+// Lines counts non-blank source lines at the benchmark's default scale
+// (the paper's Table 1 "lines" column).
+func (b Benchmark) Lines() int {
+	n := 0
+	for _, l := range strings.Split(b.Source(b.DefaultScale), "\n") {
+		if strings.TrimSpace(l) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// All returns the paper's four benchmarks.
+func All() []Benchmark {
+	return []Benchmark{Tri(), Semi(), Puzzle(), Pascal()}
+}
+
+// ByName looks a benchmark up (case-insensitive), including the extras.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range AllWithExtras() {
+		if strings.EqualFold(b.Name, name) {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// --- Tri: triangle peg solitaire -------------------------------------
+
+// triMoves are the 36 legal jumps of 15-hole triangle solitaire (18 jump
+// lines, each usable in both directions) — exactly the paper's "branch
+// factor of 36 at each node".
+var triMoves = [][3]int{
+	{0, 1, 3}, {0, 2, 5}, {1, 3, 6}, {1, 4, 8}, {2, 4, 7}, {2, 5, 9},
+	{3, 4, 5}, {3, 6, 10}, {3, 7, 12}, {4, 7, 11}, {4, 8, 13},
+	{5, 8, 12}, {5, 9, 14}, {6, 7, 8}, {7, 8, 9}, {10, 11, 12},
+	{11, 12, 13}, {12, 13, 14},
+}
+
+// triHoles returns the initially empty positions for a scale: scale is
+// the number of pegs on the board (4..15); the rest of the 15 positions
+// start empty. Fewer pegs give a shallower search tree.
+func triHoles(scale int) []int {
+	if scale < 2 {
+		scale = 2
+	}
+	if scale > 15 {
+		scale = 15
+	}
+	// Keep a contiguous cluster of pegs at the bottom rows, which keeps
+	// the position solvable-ish and the tree bushy.
+	var holes []int
+	for p := 0; p < 15-scale; p++ {
+		holes = append(holes, p)
+	}
+	return holes
+}
+
+// Tri builds the search benchmark: count all jump sequences that reduce
+// the board to a single peg. Every node AND-parallel-spawns all 36 move
+// attempts, whose counts are summed — the load-balancing stress test the
+// paper discusses in Section 4.5.
+func Tri() Benchmark {
+	src := func(scale int) string {
+		holes := triHoles(scale)
+		empty := make(map[int]bool)
+		for _, h := range holes {
+			empty[h] = true
+		}
+		var board []string
+		pegs := 0
+		for p := 0; p < 15; p++ {
+			if empty[p] {
+				board = append(board, "0")
+			} else {
+				board = append(board, "1")
+				pegs++
+			}
+		}
+		var moves []string
+		for _, m := range triMoves {
+			moves = append(moves, fmt.Sprintf("m(%d,%d,%d)", m[0], m[1], m[2]))
+			moves = append(moves, fmt.Sprintf("m(%d,%d,%d)", m[2], m[1], m[0]))
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "main :- true | solve([%s], %d, N), println(N).\n",
+			strings.Join(board, ","), pegs)
+		// The 72-entry move table is emitted as a chain of difference-list
+		// clauses (mv0..mvN) so no single clause overflows the register
+		// file.
+		const perClause = 6
+		var chunkNames []string
+		for i := 0; i < len(moves); i += perClause {
+			end := i + perClause
+			if end > len(moves) {
+				end = len(moves)
+			}
+			name := fmt.Sprintf("mv%d", i/perClause)
+			chunkNames = append(chunkNames, name)
+			fmt.Fprintf(&sb, "%s(L, T) :- true | L = [%s|T].\n",
+				name, strings.Join(moves[i:end], ","))
+		}
+		sb.WriteString("moves(Ms) :- true | ")
+		prev := "Ms"
+		for i, name := range chunkNames {
+			next := fmt.Sprintf("T%d", i)
+			fmt.Fprintf(&sb, "%s(%s, %s), ", name, prev, next)
+			prev = next
+		}
+		fmt.Fprintf(&sb, "%s = [].\n", prev)
+		sb.WriteString(`
+solve(_, 1, N) :- true | N = 1.
+solve(B, P, N) :- P > 1 | moves(Ms), tryall(Ms, B, P, N).
+tryall([], _, _, N) :- true | N = 0.
+tryall([m(F,O,T)|Ms], B, P, N) :- true |
+    getcell(F, B, VF), getcell(O, B, VO), getcell(T, B, VT),
+    check(VF, VO, VT, F, O, T, B, P, C1),
+    tryall(Ms, B, P, C2),
+    acc(C1, C2, N).
+check(1, 1, 0, F, O, T, B, P, C) :- true |
+    setcell(F, B, 0, B1), setcell(O, B1, 0, B2), setcell(T, B2, 1, B3),
+    P1 := P - 1, solve(B3, P1, C).
+check(_, _, _, _, _, _, _, _, C) :- otherwise | C = 0.
+getcell(0, [H|_], V) :- true | V = H.
+getcell(I, [_|T], V) :- I > 0 | I1 := I - 1, getcell(I1, T, V).
+setcell(0, [_|T], V, B) :- true | B = [V|T].
+setcell(I, [H|T], V, B) :- I > 0 | I1 := I - 1, B = [H|B1], setcell(I1, T, V, B1).
+acc(A, B, N) :- wait(A), wait(B) | N := A + B.
+`)
+		return sb.String()
+	}
+	expected := func(scale int) string {
+		holes := triHoles(scale)
+		board := 0
+		pegs := 0
+		for p := 0; p < 15; p++ {
+			hole := false
+			for _, h := range holes {
+				if h == p {
+					hole = true
+				}
+			}
+			if !hole {
+				board |= 1 << p
+				pegs++
+			}
+		}
+		return fmt.Sprintf("%d\n", triCount(board, pegs))
+	}
+	return Benchmark{
+		Name:         "Tri",
+		Description:  "triangle peg-solitaire search tree (branch factor 36)",
+		Source:       src,
+		Expected:     expected,
+		DefaultScale: 8,
+		SmallScale:   6,
+	}
+}
+
+// triCount is the Go reference search.
+func triCount(board, pegs int) int {
+	if pegs == 1 {
+		return 1
+	}
+	n := 0
+	for _, m := range triMoves {
+		for _, d := range [][3]int{m, {m[2], m[1], m[0]}} {
+			f, o, t := d[0], d[1], d[2]
+			if board&(1<<f) != 0 && board&(1<<o) != 0 && board&(1<<t) == 0 {
+				n += triCount(board&^(1<<f)&^(1<<o)|1<<t, pegs-1)
+			}
+		}
+	}
+	return n
+}
+
+// --- Semi: semigroup closure ------------------------------------------
+
+// Semi computes the closure of generators under multiplication modulo M
+// (scale = M). A worklist algorithm whose membership tests scan the seen
+// list: read-mostly with a small working set, matching the paper's Semi
+// profile (93% reads, high LR hit ratios, tiny bus traffic).
+func Semi() Benchmark {
+	gens := []int{3, 5}
+	src := func(scale int) string {
+		var g []string
+		for _, x := range gens {
+			g = append(g, fmt.Sprintf("%d", x))
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "main :- true | closure([%s], [%s], %d, N), println(N).\n",
+			strings.Join(g, ","), strings.Join(g, ","), scale)
+		sb.WriteString(`
+% closure(New, Seen, M, N): New are the elements added last round
+% (New is a subset of Seen). Each round generates New x Seen products in
+% AND-parallel, filters them with parallel membership scans over Seen,
+% and recurses on the genuinely fresh elements until a fixpoint.
+closure([], Seen, _, N) :- true | len(Seen, 0, N).
+closure([E|Es], Seen, M, N) :- true |
+    prodsall([E|Es], Seen, M, Ps),
+    filter(Ps, Seen, [], Fresh),
+    app(Fresh, Seen, Seen1),
+    closure(Fresh, Seen1, M, N).
+prodsall([], _, _, Ps) :- true | Ps = [].
+prodsall([E|Es], Seen, M, Ps) :- true |
+    prods(Seen, E, M, P1),
+    prodsall(Es, Seen, M, P2),
+    app(P1, P2, Ps).
+prods([], _, _, Ps) :- true | Ps = [].
+prods([S|T], E, M, Ps) :- integer(S), integer(E), integer(M) |
+    P0 := S * E, P := P0 mod M, Ps = [P|Ps1], prods(T, E, M, Ps1).
+% filter spawns one membership scan per candidate (they run in
+% parallel); duplicates within the round are caught by a scan of the
+% accumulating fresh list.
+filter([], _, Acc, Out) :- true | Out = Acc.
+filter([P|Ps], Seen, Acc, Out) :- true |
+    member(P, Seen, F1),
+    dedup(F1, P, Acc, F),
+    addif(F, P, Acc, Acc1),
+    filter(Ps, Seen, Acc1, Out).
+dedup(true, _, _, F) :- true | F = true.
+dedup(false, P, Acc, F) :- true | member(P, Acc, F).
+member(_, [], F) :- true | F = false.
+member(E, [S|T], F) :- E =:= S | F = true.
+member(E, [S|T], F) :- E =\= S | member(E, T, F).
+addif(true, _, Acc, A1) :- true | A1 = Acc.
+addif(false, P, Acc, A1) :- true | A1 = [P|Acc].
+app([], Y, Z) :- true | Z = Y.
+app([H|T], Y, Z) :- true | Z = [H|Z1], app(T, Y, Z1).
+len([], Acc, N) :- true | N = Acc.
+len([_|T], Acc, N) :- integer(Acc) | A1 := Acc + 1, len(T, A1, N).
+`)
+		return sb.String()
+	}
+	expected := func(scale int) string {
+		seen := map[int]bool{}
+		work := append([]int(nil), gens...)
+		for len(work) > 0 {
+			e := work[0]
+			work = work[1:]
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			for s := range seen {
+				work = append(work, s*e%scale)
+			}
+			work = append(work, e*e%scale)
+		}
+		return fmt.Sprintf("%d\n", len(seen))
+	}
+	return Benchmark{
+		Name:         "Semi",
+		Description:  "semigroup closure under multiplication mod M (read-mostly)",
+		Source:       src,
+		Expected:     expected,
+		DefaultScale: 256,
+		SmallScale:   64,
+	}
+}
+
+// --- Puzzle: domino packing --------------------------------------------
+
+// Puzzle counts exact domino tilings of a WxH board; scale selects the
+// board (see puzzleBoards). Every placement copies the board (lists), so
+// the benchmark creates large dynamic structures and heavy heap traffic,
+// matching the paper's Puzzle profile.
+func puzzleBoards(scale int) (w, h int) {
+	boards := [][2]int{{2, 2}, {2, 4}, {3, 4}, {4, 4}, {4, 5}, {4, 6}, {5, 6}}
+	if scale < 0 {
+		scale = 0
+	}
+	if scale >= len(boards) {
+		scale = len(boards) - 1
+	}
+	return boards[scale][0], boards[scale][1]
+}
+
+// Puzzle builds the packing benchmark.
+func Puzzle() Benchmark {
+	src := func(scale int) string {
+		w, h := puzzleBoards(scale)
+		cells := w * h
+		var board []string
+		for i := 0; i < cells; i++ {
+			board = append(board, "0")
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "main :- true | solve([%s], %d, N), println(N).\n",
+			strings.Join(board, ","), cells/2)
+		fmt.Fprintf(&sb, "width(W) :- true | W = %d.\n", w)
+		fmt.Fprintf(&sb, "cells(C) :- true | C = %d.\n", cells)
+		sb.WriteString(`
+solve(_, 0, N) :- true | N = 1.
+solve(B, K, N) :- K > 0 |
+    firstempty(B, 0, I),
+    tryh(B, I, K, NH),
+    tryv(B, I, K, NV),
+    acc(NH, NV, N).
+firstempty([0|_], I, R) :- true | R = I.
+firstempty([1|T], I, R) :- true | I1 := I + 1, firstempty(T, I1, R).
+% horizontal domino at I, I+1: needs column < W-1 and cell I+1 empty.
+tryh(B, I, K, N) :- wait(I) |
+    width(W), C := I mod W, W1 := W - 1, J := I + 1,
+    tryh2(C, W1, J, B, I, K, N).
+tryh2(C, W1, J, B, I, K, N) :- C < W1 |
+    getcell(J, B, V), place2(V, I, J, B, K, N).
+tryh2(C, W1, _, _, _, _, N) :- C >= W1 | N = 0.
+% vertical domino at I, I+W: needs row < H-1, i.e. I+W < cells.
+tryv(B, I, K, N) :- wait(I) |
+    width(W), cells(CL), J := I + W,
+    tryv2(J, CL, B, I, K, N).
+tryv2(J, CL, B, I, K, N) :- J < CL |
+    getcell(J, B, V), place2(V, I, J, B, K, N).
+tryv2(J, CL, _, _, _, N) :- J >= CL | N = 0.
+% place both cells if the second is empty, then recurse.
+place2(0, I, J, B, K, N) :- true |
+    setcell(I, B, 1, B1), setcell(J, B1, 1, B2),
+    K1 := K - 1, solve(B2, K1, N).
+place2(1, _, _, _, _, N) :- true | N = 0.
+getcell(0, [H|_], V) :- true | V = H.
+getcell(I, [_|T], V) :- I > 0 | I1 := I - 1, getcell(I1, T, V).
+setcell(0, [_|T], V, B) :- true | B = [V|T].
+setcell(I, [H|T], V, B) :- I > 0 | I1 := I - 1, B = [H|B1], setcell(I1, T, V, B1).
+acc(A, B, N) :- wait(A), wait(B) | N := A + B.
+`)
+		return sb.String()
+	}
+	expected := func(scale int) string {
+		w, h := puzzleBoards(scale)
+		return fmt.Sprintf("%d\n", dominoTilings(w, h))
+	}
+	return Benchmark{
+		Name:         "Puzzle",
+		Description:  "domino packing search with full board copies (heap-heavy)",
+		Source:       src,
+		Expected:     expected,
+		DefaultScale: 5,
+		SmallScale:   2,
+	}
+}
+
+// dominoTilings is the Go reference counter.
+func dominoTilings(w, h int) int {
+	cells := w * h
+	if cells%2 != 0 {
+		return 0
+	}
+	var rec func(board uint64, left int) int
+	rec = func(board uint64, left int) int {
+		if left == 0 {
+			return 1
+		}
+		i := 0
+		for board&(1<<i) != 0 {
+			i++
+		}
+		n := 0
+		if i%w < w-1 && board&(1<<(i+1)) == 0 {
+			n += rec(board|1<<i|1<<(i+1), left-1)
+		}
+		if i+w < cells && board&(1<<(i+w)) == 0 {
+			n += rec(board|1<<i|1<<(i+w), left-1)
+		}
+		return n
+	}
+	return rec(0, cells/2)
+}
+
+// --- Pascal: binomial pipeline ------------------------------------------
+
+// pascalRows is the depth of each triangle pipeline (the sum of the last
+// row, 2^32, stays far inside the 56-bit integer payload even summed over
+// many pipelines).
+const pascalRows = 32
+
+// Pascal computes rows of Pascal's triangle as chains of stream
+// processes — each row is produced incrementally and consumed by the next
+// stage before it is complete, giving the suspension-heavy stream
+// AND-parallel profile of the paper's Pascal. Scale is the number of
+// independent 32-row pipelines; the answer is scale * 2^32.
+func Pascal() Benchmark {
+	src := func(scale int) string {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "main :- true | spawnk(%d, 0, T), println(T).\n", scale)
+		fmt.Fprintf(&sb, `
+spawnk(0, Acc, T) :- true | T = Acc.
+spawnk(K, Acc, T) :- K > 0 |
+    pascal(%d, [1], Row), sum(Row, 0, S),
+    acc(Acc, S, A1), K1 := K - 1, spawnk(K1, A1, T).
+pascal(0, Row, Out) :- true | Out = Row.
+pascal(N, Row, Out) :- N > 0 |
+    nextrow(Row, Row1), N1 := N - 1, pascal(N1, Row1, Out).
+nextrow(Row, Out) :- true | Out = [1|T], pairs(Row, T).
+pairs([_], T) :- true | T = [1].
+pairs([A,B|R], T) :- true | S := A + B, T = [S|T1], pairs([B|R], T1).
+sum([], Acc, S) :- true | S = Acc.
+sum([H|T], Acc, S) :- true | A1 := Acc + H, sum(T, A1, S).
+acc(A, B, C) :- wait(A), wait(B) | C := A + B.
+`, pascalRows)
+		return sb.String()
+	}
+	expected := func(scale int) string {
+		return fmt.Sprintf("%d\n", uint64(scale)<<pascalRows)
+	}
+	return Benchmark{
+		Name:         "Pascal",
+		Description:  "Pascal-triangle stream pipelines (suspension-heavy)",
+		Source:       src,
+		Expected:     expected,
+		DefaultScale: 48,
+		SmallScale:   3,
+	}
+}

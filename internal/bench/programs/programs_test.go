@@ -1,0 +1,180 @@
+package programs
+
+import (
+	"testing"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/kl1/emulator"
+	"pimcache/internal/machine"
+	"pimcache/internal/mem"
+)
+
+func benchMachineConfig(pes int) machine.Config {
+	return machine.Config{
+		PEs: pes,
+		Layout: mem.Layout{
+			InstWords: 32 << 10,
+			HeapWords: 4 << 20,
+			GoalWords: 256 << 10,
+			SuspWords: 64 << 10,
+			CommWords: 8 << 10,
+		},
+		Cache: cache.Config{
+			SizeWords: 4 << 10, BlockWords: 4, Ways: 4, LockEntries: 4,
+			Options:  cache.OptionsAll(),
+			Protocol: cache.ProtocolPIM,
+			VerifyDW: true,
+		},
+		Timing: bus.DefaultTiming(),
+	}
+}
+
+// TestBenchmarksSmallScale runs every benchmark at its small scale on 1
+// and 4 PEs and checks the output against the Go reference.
+func TestBenchmarksSmallScale(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			want := b.Expected(b.SmallScale)
+			for _, pes := range []int{1, 4} {
+				_, res, err := emulator.RunSource(b.Source(b.SmallScale),
+					benchMachineConfig(pes), emulator.DefaultConfig(), 200_000_000)
+				if err != nil {
+					t.Fatalf("%d PEs: %v", pes, err)
+				}
+				if res.Failed {
+					t.Fatalf("%d PEs: failed: %s", pes, res.FailReason)
+				}
+				if res.HitStepLimit {
+					t.Fatalf("%d PEs: step limit (%d steps)", pes, res.Steps)
+				}
+				if res.Output != want {
+					t.Errorf("%d PEs: output %q, want %q", pes, res.Output, want)
+				}
+				if res.Floating != 0 {
+					t.Errorf("%d PEs: %d floating goals", pes, res.Floating)
+				}
+			}
+		})
+	}
+}
+
+func TestBenchmarkMetadata(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("expected 4 benchmarks, got %d", len(all))
+	}
+	names := []string{"Tri", "Semi", "Puzzle", "Pascal"}
+	for i, b := range all {
+		if b.Name != names[i] {
+			t.Errorf("benchmark %d = %s, want %s", i, b.Name, names[i])
+		}
+		if b.Lines() < 8 {
+			t.Errorf("%s: implausibly few source lines (%d)", b.Name, b.Lines())
+		}
+		if b.Expected(b.SmallScale) == "" {
+			t.Errorf("%s: empty expected output", b.Name)
+		}
+	}
+	if _, ok := ByName("tri"); !ok {
+		t.Error("ByName case-insensitive lookup failed")
+	}
+	if _, ok := ByName("nosuch"); ok {
+		t.Error("phantom benchmark")
+	}
+}
+
+func TestTriReferenceKnownValue(t *testing.T) {
+	// Full 15-peg board with the top hole has 29760 completion sequences
+	// ending at one peg — the classic triangle-solitaire count.
+	full := 0
+	for p := 1; p < 15; p++ {
+		full |= 1 << p
+	}
+	if got := triCount(full, 14); got != 29760 {
+		t.Errorf("triCount(full board) = %d, want 29760", got)
+	}
+}
+
+func TestPuzzleReferenceKnownValues(t *testing.T) {
+	// Known domino tiling counts.
+	cases := map[[2]int]int{
+		{2, 2}: 2, {2, 3}: 3, {2, 4}: 5, {3, 4}: 11, {4, 4}: 36, {4, 5}: 95, {4, 6}: 281,
+	}
+	for wh, want := range cases {
+		if got := dominoTilings(wh[0], wh[1]); got != want {
+			t.Errorf("dominoTilings(%d,%d) = %d, want %d", wh[0], wh[1], got, want)
+		}
+	}
+}
+
+func TestBUPSmallScale(t *testing.T) {
+	b, ok := ByName("BUP")
+	if !ok {
+		t.Fatal("BUP missing")
+	}
+	want := b.Expected(b.SmallScale)
+	for _, pes := range []int{1, 4} {
+		_, res, err := emulator.RunSource(b.Source(b.SmallScale),
+			benchMachineConfig(pes), emulator.DefaultConfig(), 400_000_000)
+		if err != nil {
+			t.Fatalf("%d PEs: %v", pes, err)
+		}
+		if res.Failed {
+			t.Fatalf("%d PEs: %s", pes, res.FailReason)
+		}
+		if res.Output != want {
+			t.Errorf("%d PEs: output %q, want %q", pes, res.Output, want)
+		}
+	}
+}
+
+func TestPuzzleVecSmallScale(t *testing.T) {
+	b, ok := ByName("PuzzleVec")
+	if !ok {
+		t.Fatal("PuzzleVec missing")
+	}
+	want := b.Expected(b.SmallScale)
+	for _, pes := range []int{1, 4} {
+		_, res, err := emulator.RunSource(b.Source(b.SmallScale),
+			benchMachineConfig(pes), emulator.DefaultConfig(), 400_000_000)
+		if err != nil {
+			t.Fatalf("%d PEs: %v", pes, err)
+		}
+		if res.Failed {
+			t.Fatalf("%d PEs: %s", pes, res.FailReason)
+		}
+		if res.Output != want {
+			t.Errorf("%d PEs: output %q, want %q", pes, res.Output, want)
+		}
+	}
+}
+
+func TestBUPReferenceKnownValues(t *testing.T) {
+	// With the pure S -> S S grammar, the tree count over a^n is the
+	// Catalan number C(n-1); verify the reference on that simpler
+	// grammar before trusting it for the richer one.
+	rules := [][3]int{{1, 1, 1}}
+	terms := map[string][]int{"a": {1}}
+	catalan := []int64{1, 1, 2, 5, 14, 42, 132}
+	for n := 1; n <= 7; n++ {
+		in := make([]string, n)
+		for i := range in {
+			in[i] = "a"
+		}
+		if got := cykCount(rules, terms, in, 1); got != catalan[n-1] {
+			t.Errorf("catalan(%d): got %d, want %d", n-1, got, catalan[n-1])
+		}
+	}
+}
+
+func TestAllWithExtras(t *testing.T) {
+	if len(All()) != 4 {
+		t.Error("All must stay the paper's four benchmarks")
+	}
+	extras := AllWithExtras()
+	if len(extras) != 6 || extras[4].Name != "BUP" || extras[5].Name != "PuzzleVec" {
+		t.Errorf("extras %v", extras)
+	}
+}

@@ -1,0 +1,71 @@
+package programs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PuzzleVec is the Puzzle benchmark with the board held in a KL1 vector
+// instead of a list — closer to the original Baskett puzzle's arrays.
+// Each placement still copies the whole board (set_vector_element is a
+// functional update), but the copies are contiguous direct-write bursts
+// rather than pointer-chasing list rebuilds, so the variant trades list
+// traversal reads for block-friendly writes. Scale selects the board as
+// in Puzzle. Extra benchmark: available via ByName/AllWithExtras.
+func PuzzleVec() Benchmark {
+	src := func(scale int) string {
+		w, h := puzzleBoards(scale)
+		cells := w * h
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "main :- true | new_vector(%d, B), fill(B, 0), solve(B, %d, N), println(N).\n",
+			cells, cells/2)
+		fmt.Fprintf(&sb, "width(W) :- true | W = %d.\n", w)
+		fmt.Fprintf(&sb, "cells(C) :- true | C = %d.\n", cells)
+		sb.WriteString(`
+fill(B, I) :- true | cells(C), fill2(I, C, B).
+fill2(I, C, _) :- I >= C | true.
+fill2(I, C, B) :- I < C |
+    vector_element(B, I, E), E = 0, I1 := I + 1, fill2(I1, C, B).
+solve(_, 0, N) :- true | N = 1.
+solve(B, K, N) :- K > 0 |
+    firstempty(B, 0, I),
+    tryh(B, I, K, NH),
+    tryv(B, I, K, NV),
+    acc(NH, NV, N).
+firstempty(B, I, R) :- true | vector_element(B, I, V), fe(V, B, I, R).
+fe(0, _, I, R) :- true | R = I.
+fe(1, B, I, R) :- true | I1 := I + 1, firstempty(B, I1, R).
+tryh(B, I, K, N) :- wait(I) |
+    width(W), C := I mod W, W1 := W - 1, J := I + 1,
+    tryh2(C, W1, J, B, I, K, N).
+tryh2(C, W1, J, B, I, K, N) :- C < W1 |
+    vector_element(B, J, V), place2(V, I, J, B, K, N).
+tryh2(C, W1, _, _, _, _, N) :- C >= W1 | N = 0.
+tryv(B, I, K, N) :- wait(I) |
+    width(W), cells(CL), J := I + W,
+    tryv2(J, CL, B, I, K, N).
+tryv2(J, CL, B, I, K, N) :- J < CL |
+    vector_element(B, J, V), place2(V, I, J, B, K, N).
+tryv2(J, CL, _, _, _, N) :- J >= CL | N = 0.
+place2(0, I, J, B, K, N) :- true |
+    set_vector_element(B, I, 1, B1),
+    set_vector_element(B1, J, 1, B2),
+    K1 := K - 1, solve(B2, K1, N).
+place2(1, _, _, _, _, N) :- true | N = 0.
+acc(A, B, N) :- wait(A), wait(B) | N := A + B.
+`)
+		return sb.String()
+	}
+	expected := func(scale int) string {
+		w, h := puzzleBoards(scale)
+		return fmt.Sprintf("%d\n", dominoTilings(w, h))
+	}
+	return Benchmark{
+		Name:         "PuzzleVec",
+		Description:  "domino packing with vector boards (contiguous copies)",
+		Source:       src,
+		Expected:     expected,
+		DefaultScale: 5,
+		SmallScale:   2,
+	}
+}

@@ -1,0 +1,543 @@
+// Package bus models the common bus of the simulated PIM cluster: the
+// single shared interconnect carrying block fetches, invalidations and
+// lock traffic between the per-PE caches and the shared memory module.
+//
+// The model follows Section 4.2 of the paper: a one-word-wide bus (tag
+// plus data) that is held for the duration of one memory operation, an
+// eight-cycle shared-memory access, and six access patterns whose cycle
+// counts — 13/13/10/7/5/2 for the paper's base parameters — are derived
+// here from the block size, bus width, and memory latency so that the
+// block-size and bus-width experiments (Figure 1, Section 4.4) can vary
+// them.
+package bus
+
+import (
+	"fmt"
+
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/mem"
+)
+
+// Command enumerates the bus commands of Section 3.3.
+type Command uint8
+
+const (
+	// CmdF fetches a block from another PE or shared memory.
+	CmdF Command = iota
+	// CmdFI fetches a block and invalidates all other copies.
+	CmdFI
+	// CmdI invalidates all other copies.
+	CmdI
+	// CmdH is the hit response to F and FI.
+	CmdH
+	// CmdLK announces that an address is being locked (rides with FI/I).
+	CmdLK
+	// CmdUL announces that an address with waiters has been unlocked.
+	CmdUL
+	// CmdLH is the lock-hit response; the requester busy-waits.
+	CmdLH
+
+	NumCommands
+)
+
+var commandNames = [NumCommands]string{"F", "FI", "I", "H", "LK", "UL", "LH"}
+
+// String returns the paper's mnemonic for the command.
+func (c Command) String() string {
+	if int(c) < len(commandNames) {
+		return commandNames[c]
+	}
+	return fmt.Sprintf("cmd(%d)", uint8(c))
+}
+
+// Pattern enumerates the bus access patterns of Section 4.2. Each bus
+// transaction is accounted under exactly one pattern.
+type Pattern uint8
+
+const (
+	// PatSwapInMem is a block fetch satisfied by shared memory with no
+	// dirty victim.
+	PatSwapInMem Pattern = iota
+	// PatSwapInMemSwapOut is a memory fetch that also evicts a dirty
+	// victim; the swap-out write is hidden behind the fetch, so it costs
+	// the same as PatSwapInMem (the paper's "hidden by a subsequent
+	// memory operation").
+	PatSwapInMemSwapOut
+	// PatC2C is a cache-to-cache transfer with no dirty victim.
+	PatC2C
+	// PatC2CSwapOut is a cache-to-cache transfer evicting a dirty victim.
+	PatC2CSwapOut
+	// PatSwapOutOnly is a lone dirty-victim write-back; it occurs only
+	// under the DW command, which allocates without fetching.
+	PatSwapOutOnly
+	// PatInval is an invalidation of other PEs' copies.
+	PatInval
+	// PatUnlock is a UL broadcast waking busy-waiting PEs.
+	PatUnlock
+	// PatWordWrite is a single-word write to shared memory, used only by
+	// the write-through baseline protocol (address cycle + one data
+	// word; the memory module absorbs it).
+	PatWordWrite
+
+	NumPatterns
+)
+
+var patternNames = [NumPatterns]string{
+	"swapin-mem", "swapin-mem+swapout", "c2c", "c2c+swapout",
+	"swapout-only", "invalidate", "unlock", "word-write",
+}
+
+// String names the pattern.
+func (p Pattern) String() string {
+	if int(p) < len(patternNames) {
+		return patternNames[p]
+	}
+	return fmt.Sprintf("pattern(%d)", uint8(p))
+}
+
+// Timing holds the bus and memory timing parameters.
+type Timing struct {
+	// MemCycles is the shared-memory access latency (paper: 8).
+	MemCycles int
+	// WidthWords is the bus width in words (paper: 1).
+	WidthWords int
+}
+
+// DefaultTiming returns the paper's base parameters.
+func DefaultTiming() Timing { return Timing{MemCycles: 8, WidthWords: 1} }
+
+// transferCycles is the time to move a block across the bus.
+func (t Timing) transferCycles(blockWords int) int {
+	return (blockWords + t.WidthWords - 1) / t.WidthWords
+}
+
+// Cycles returns the cost of one transaction of the given pattern for the
+// given block size. For the paper's base parameters (four-word blocks,
+// one-word bus, eight-cycle memory) this yields 13, 13, 7, 10, 5, 2, 2.
+func (t Timing) Cycles(p Pattern, blockWords int) uint64 {
+	tr := t.transferCycles(blockWords)
+	switch p {
+	case PatSwapInMem, PatSwapInMemSwapOut:
+		// Address cycle, memory latency, block transfer. A dirty victim's
+		// write-back overlaps the next operation and adds nothing.
+		return uint64(1 + t.MemCycles + tr)
+	case PatC2C:
+		// Address cycle, snoop/H-response window, block transfer.
+		return uint64(3 + tr)
+	case PatC2CSwapOut:
+		// The victim write-back partially overlaps the transfer; one word
+		// of it is hidden behind the address/snoop cycles.
+		return uint64(3 + tr + tr - 1)
+	case PatSwapOutOnly:
+		// Address cycle plus block transfer to memory.
+		return uint64(1 + tr)
+	case PatInval, PatUnlock:
+		// Command and address broadcast.
+		return 2
+	case PatWordWrite:
+		// Address cycle plus one data word.
+		return 2
+	default:
+		panic(fmt.Sprintf("bus: unknown pattern %d", p))
+	}
+}
+
+// Stats accumulates bus activity. CyclesByArea attributes each
+// transaction's cycles to the storage area of the address that caused it,
+// which is how the paper's Table 2 "Bus Cyc." rows are computed.
+type Stats struct {
+	TotalCycles     uint64
+	CyclesByArea    [mem.NumAreas]uint64
+	CyclesByPattern [NumPatterns]uint64
+	CountByPattern  [NumPatterns]uint64
+	Commands        [NumCommands]uint64
+	// MemBusyCycles counts shared-memory-module occupancy. The PIM
+	// protocol's SM state exists precisely to keep this low relative to
+	// Illinois-style copy-back-on-transfer (Section 3.1), so it is
+	// tracked separately from bus occupancy.
+	MemBusyCycles uint64
+}
+
+// Add merges other into s.
+func (s *Stats) Add(other *Stats) {
+	s.TotalCycles += other.TotalCycles
+	for i := range s.CyclesByArea {
+		s.CyclesByArea[i] += other.CyclesByArea[i]
+	}
+	for i := range s.CyclesByPattern {
+		s.CyclesByPattern[i] += other.CyclesByPattern[i]
+		s.CountByPattern[i] += other.CountByPattern[i]
+	}
+	for i := range s.Commands {
+		s.Commands[i] += other.Commands[i]
+	}
+	s.MemBusyCycles += other.MemBusyCycles
+}
+
+// Snooper is the cache-side interface the bus uses to maintain coherence.
+// Each PE's cache implements it; the bus never calls the requester's own
+// snooper.
+type Snooper interface {
+	// SnoopFetch is invoked for F/FI on the block containing addr. If the
+	// cache holds the block it must return its data and report whether
+	// its copy was modified; when inval is true (FI) it must invalidate
+	// its copy, and when false (F) it must downgrade to a shared state,
+	// keeping write-back ownership if its copy was dirty (EM becomes SM:
+	// the PIM protocol never copies back to memory on a transfer).
+	// retained reports whether the snooper still holds a valid copy
+	// afterwards, which tells the requester to install the block shared.
+	SnoopFetch(addr word.Addr, inval bool) (data []word.Word, held, dirty, retained bool)
+	// SnoopInvalidate is invoked for I; any copy is discarded.
+	SnoopInvalidate(addr word.Addr)
+	// Holds reports, without side effects, whether the cache currently
+	// holds a valid copy of the block containing addr. The cache
+	// controller uses it to choose between the ER/RP sub-behaviours,
+	// which the paper specifies in terms of whether "the block resides on
+	// another PE".
+	Holds(addr word.Addr) bool
+}
+
+// LockUnit is the lock-directory-side snoop interface.
+type LockUnit interface {
+	// CheckLocked reports whether this PE holds a lock on exactly addr.
+	// When it does, the unit records that a waiter exists (LCK to LWAIT)
+	// so the eventual unlock is broadcast.
+	CheckLocked(addr word.Addr) bool
+	// LocksInBlock reports whether this PE holds a lock on any word of
+	// the block [base, base+words). Used to deny exclusive grants of
+	// blocks containing locked words, which keeps later lock releases
+	// visible on the bus.
+	LocksInBlock(base word.Addr, words int) bool
+	// ObserveUnlock delivers a UL broadcast so busy-waiting operations on
+	// this PE can retry.
+	ObserveUnlock(addr word.Addr)
+}
+
+// FetchResult describes the outcome of a Fetch transaction.
+type FetchResult struct {
+	// LockHit is true when a remote lock directory responded LH; the
+	// transaction was aborted with no state changes and the requester
+	// must busy-wait for the matching UL.
+	LockHit bool
+	// Data is the fetched block (nil when LockHit).
+	Data []word.Word
+	// FromCache reports a cache-to-cache transfer.
+	FromCache bool
+	// SupplierDirty reports that the supplying cache's copy was modified;
+	// under the PIM protocol the data is NOT written back to memory, so a
+	// requester that receives dirty data exclusively becomes its owner.
+	SupplierDirty bool
+	// Shared reports that some other cache retains a copy (or that a lock
+	// in the block forces a shared grant); the requester must install the
+	// block in a shared state.
+	Shared bool
+}
+
+// Bus is the common bus. It serializes all transactions (the simulated
+// machine is stepped deterministically, so no Go-level locking is needed)
+// and owns cycle accounting.
+type Bus struct {
+	timing     Timing
+	blockWords int
+	memory     *mem.Memory
+	areaOf     func(word.Addr) mem.Area
+	snoopers   []Snooper
+	lockUnits  []LockUnit
+	stats      Stats
+}
+
+// Config parameterizes a bus.
+type Config struct {
+	Timing     Timing
+	BlockWords int
+}
+
+// New creates a bus over the given shared memory.
+func New(cfg Config, memory *mem.Memory) *Bus {
+	if cfg.BlockWords < 1 {
+		panic("bus: block size must be at least one word")
+	}
+	if cfg.Timing.WidthWords < 1 || cfg.Timing.MemCycles < 1 {
+		panic("bus: invalid timing")
+	}
+	return &Bus{
+		timing:     cfg.Timing,
+		blockWords: cfg.BlockWords,
+		memory:     memory,
+		areaOf:     memory.AreaOf,
+	}
+}
+
+// Attach registers PE p's cache snooper and lock unit. PEs must be
+// attached densely from zero.
+func (b *Bus) Attach(p int, s Snooper, l LockUnit) {
+	if p != len(b.snoopers) {
+		panic(fmt.Sprintf("bus: PE %d attached out of order", p))
+	}
+	b.snoopers = append(b.snoopers, s)
+	b.lockUnits = append(b.lockUnits, l)
+}
+
+// PEs reports the number of attached processors.
+func (b *Bus) PEs() int { return len(b.snoopers) }
+
+// BlockWords reports the configured block size.
+func (b *Bus) BlockWords() int { return b.blockWords }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// ResetStats zeroes the counters (used after warm-up phases).
+func (b *Bus) ResetStats() { b.stats = Stats{} }
+
+// Memory exposes the shared-memory module (for machine composition and
+// verification; normal accesses flow through transactions).
+func (b *Bus) Memory() *mem.Memory { return b.memory }
+
+// blockBase returns the base address of the block containing a.
+func (b *Bus) blockBase(a word.Addr) word.Addr {
+	return a &^ word.Addr(b.blockWords-1)
+}
+
+func (b *Bus) account(p Pattern, a word.Addr) {
+	cy := b.timing.Cycles(p, b.blockWords)
+	b.stats.TotalCycles += cy
+	b.stats.CyclesByArea[b.areaOf(a)] += cy
+	b.stats.CyclesByPattern[p] += cy
+	b.stats.CountByPattern[p]++
+	switch p {
+	case PatSwapInMem, PatSwapInMemSwapOut, PatSwapOutOnly, PatWordWrite:
+		// The fetch or lone write-back occupies the memory module once;
+		// hidden victim write-backs are charged by SwapOutHidden.
+		b.stats.MemBusyCycles += uint64(b.timing.MemCycles)
+	}
+}
+
+// lockHit polls remote lock directories for a lock on exactly addr,
+// recording the waiter on a hit.
+func (b *Bus) lockHit(requester int, addr word.Addr) bool {
+	hit := false
+	for i, lu := range b.lockUnits {
+		if i == requester || lu == nil {
+			continue
+		}
+		if lu.CheckLocked(addr) {
+			hit = true
+		}
+	}
+	if hit {
+		b.stats.Commands[CmdLH]++
+	}
+	return hit
+}
+
+// lockedBlockElsewhere reports whether any remote PE holds a lock on any
+// word of addr's block; such blocks are granted shared, never exclusive.
+func (b *Bus) lockedBlockElsewhere(requester int, addr word.Addr) bool {
+	base := b.blockBase(addr)
+	for i, lu := range b.lockUnits {
+		if i == requester || lu == nil {
+			continue
+		}
+		if lu.LocksInBlock(base, b.blockWords) {
+			return true
+		}
+	}
+	return false
+}
+
+// Fetch performs an F (inval=false) or FI (inval=true) transaction for
+// the block containing addr, on behalf of requester. victimDirty reports
+// whether the requester must also write back a dirty victim, which
+// selects the with-swap-out pattern. withLock adds an LK broadcast (the
+// LR operation). The returned data is a copy owned by the caller.
+func (b *Bus) Fetch(requester int, addr word.Addr, inval, victimDirty, withLock bool) FetchResult {
+	if withLock {
+		b.stats.Commands[CmdLK]++
+	}
+	if b.lockHit(requester, addr) {
+		// Transaction aborted: LH response, requester busy-waits. The
+		// address broadcast still consumed bus cycles.
+		b.account(PatInval, addr)
+		return FetchResult{LockHit: true}
+	}
+	return b.fetch(requester, addr, inval, victimDirty)
+}
+
+// FetchForced performs a fetch without polling remote lock directories.
+// The cache uses it to complete a plain R/W whose first attempt drew LH:
+// the busy wait has been accounted and the retry proceeds as it would
+// after the unlock broadcast.
+func (b *Bus) FetchForced(requester int, addr word.Addr, inval, victimDirty bool) FetchResult {
+	return b.fetch(requester, addr, inval, victimDirty)
+}
+
+func (b *Bus) fetch(requester int, addr word.Addr, inval, victimDirty bool) FetchResult {
+	cmd := CmdF
+	if inval {
+		cmd = CmdFI
+	}
+	b.stats.Commands[cmd]++
+
+	base := b.blockBase(addr)
+	var res FetchResult
+	for i, s := range b.snoopers {
+		if i == requester || s == nil {
+			continue
+		}
+		data, held, dirty, retained := s.SnoopFetch(addr, inval)
+		if !held {
+			continue
+		}
+		b.stats.Commands[CmdH]++
+		if res.Data == nil {
+			res.Data = append([]word.Word(nil), data...)
+			res.FromCache = true
+		}
+		if dirty {
+			res.SupplierDirty = true
+			if res.Data != nil && data != nil {
+				// Prefer the dirty copy: with the PIM protocol at most
+				// one modified copy exists, and it is the valid one.
+				res.Data = append(res.Data[:0], data...)
+			}
+		}
+		if retained {
+			res.Shared = true
+		}
+	}
+	if res.Data == nil {
+		// No cache held the block: shared memory supplies it.
+		res.Data = make([]word.Word, b.blockWords)
+		b.memory.ReadBlock(base, res.Data)
+		if victimDirty {
+			b.account(PatSwapInMemSwapOut, addr)
+		} else {
+			b.account(PatSwapInMem, addr)
+		}
+	} else {
+		if victimDirty {
+			b.account(PatC2CSwapOut, addr)
+		} else {
+			b.account(PatC2C, addr)
+		}
+	}
+	if !res.Shared && b.lockedBlockElsewhere(requester, addr) {
+		// A remote PE holds a lock on a (possibly swapped-out) word of
+		// this block: deny exclusivity — even on FI — so that a later LR
+		// to the locked word cannot hit an exclusive block and bypass the
+		// bus, which would let two PEs hold the same lock.
+		res.Shared = true
+	}
+	return res
+}
+
+// RemoteLockInBlock reports whether a PE other than requester holds a
+// lock on any word of addr's block. Writers consult it to settle in SM
+// rather than EM, preserving the no-exclusive-block-over-a-remote-lock
+// invariant.
+func (b *Bus) RemoteLockInBlock(requester int, addr word.Addr) bool {
+	return b.lockedBlockElsewhere(requester, addr)
+}
+
+// RemoteHolder reports whether any cache other than requester holds a
+// valid copy of the block containing addr. This is the snoop-result peek
+// the cache controller uses to select among the ER and RP sub-behaviours
+// before committing to a bus command.
+func (b *Bus) RemoteHolder(requester int, addr word.Addr) bool {
+	for i, s := range b.snoopers {
+		if i == requester || s == nil {
+			continue
+		}
+		if s.Holds(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate performs an I transaction for the block containing addr
+// (write hit on a shared block, or LR taking ownership with LK). It
+// returns false when a remote lock directory responded LH, in which case
+// no copies were invalidated.
+func (b *Bus) Invalidate(requester int, addr word.Addr, withLock bool) bool {
+	if withLock {
+		b.stats.Commands[CmdLK]++
+	}
+	if b.lockHit(requester, addr) {
+		b.account(PatInval, addr)
+		return false
+	}
+	b.invalidate(requester, addr)
+	return true
+}
+
+// ForceInvalidate invalidates without the lock poll; see FetchForced.
+func (b *Bus) ForceInvalidate(requester int, addr word.Addr) {
+	b.invalidate(requester, addr)
+}
+
+func (b *Bus) invalidate(requester int, addr word.Addr) {
+	b.stats.Commands[CmdI]++
+	b.account(PatInval, addr)
+	for i, s := range b.snoopers {
+		if i == requester || s == nil {
+			continue
+		}
+		s.SnoopInvalidate(addr)
+	}
+}
+
+// SwapOut writes a dirty victim block back to shared memory as a lone
+// transaction (the DW-only pattern; fetch-driven write-backs are costed
+// inside Fetch).
+func (b *Bus) SwapOut(base word.Addr, data []word.Word) {
+	b.memory.WriteBlock(base, data)
+	b.account(PatSwapOutOnly, base)
+}
+
+// SwapOutHidden writes a dirty victim back to memory during a fetch; the
+// bus cycles were already accounted by the with-swap-out fetch pattern,
+// but the memory module is still occupied absorbing the write.
+func (b *Bus) SwapOutHidden(base word.Addr, data []word.Word) {
+	b.memory.WriteBlock(base, data)
+	b.stats.MemBusyCycles += uint64(b.timing.MemCycles)
+}
+
+// MemoryWriteBack writes a block to memory charging memory-module
+// occupancy but no bus cycles. The Illinois baseline uses it for its
+// copy-back-on-transfer (the reflection rides the bus transfer already
+// accounted, but the memory module is busy absorbing it), and cache
+// flushes outside measurement windows use it for correctness only.
+func (b *Bus) MemoryWriteBack(base word.Addr, data []word.Word) {
+	b.memory.WriteBlock(base, data)
+	b.stats.MemBusyCycles += uint64(b.timing.MemCycles)
+}
+
+// WordWrite performs a write-through store of one word to shared memory,
+// invalidating all other cached copies (write-through-with-invalidate,
+// the baseline the copy-back protocols are measured against).
+func (b *Bus) WordWrite(requester int, addr word.Addr, w word.Word) {
+	b.memory.Write(addr, w)
+	b.account(PatWordWrite, addr)
+	for i, s := range b.snoopers {
+		if i == requester || s == nil {
+			continue
+		}
+		s.SnoopInvalidate(addr)
+	}
+}
+
+// Unlock broadcasts UL for addr, waking busy-waiting PEs. The paper's
+// optimization — suppressing the broadcast when no PE waits — is decided
+// by the caller (the lock directory), so every call here costs cycles.
+func (b *Bus) Unlock(requester int, addr word.Addr) {
+	b.stats.Commands[CmdUL]++
+	b.account(PatUnlock, addr)
+	for i, lu := range b.lockUnits {
+		if i == requester || lu == nil {
+			continue
+		}
+		lu.ObserveUnlock(addr)
+	}
+}

@@ -1,0 +1,640 @@
+package cache
+
+import (
+	"fmt"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/mem"
+)
+
+// line is one cache block frame.
+type line struct {
+	state State
+	base  word.Addr // block base address; meaningful when state != INV
+	data  []word.Word
+	lru   uint64
+}
+
+// Cache is one PE's coherent cache plus its lock directory. It implements
+// mem.Accessor on the processor side and bus.Snooper/bus.LockUnit on the
+// bus side.
+//
+// A Cache is not safe for concurrent use; the machine steps PEs
+// deterministically and the bus serializes all coherence activity.
+type Cache struct {
+	cfg      Config
+	pe       int
+	bus      *bus.Bus
+	areaOf   func(word.Addr) mem.Area
+	sets     [][]line
+	setMask  word.Addr
+	offMask  word.Addr
+	blockW   word.Addr
+	lruClock uint64
+	dir      *lockDir
+	stats    Stats
+
+	// Busy-wait state: set when an LR received the LH response; cleared
+	// by the matching UL broadcast. While set the PE spins without bus
+	// traffic and the machine does not step it.
+	blocked   bool
+	blockedOn word.Addr
+}
+
+// New builds a cache for PE pe and attaches it to b.
+func New(cfg Config, pe int, b *bus.Bus) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.BlockWords != b.BlockWords() {
+		panic(fmt.Sprintf("cache: block size %d differs from bus block size %d",
+			cfg.BlockWords, b.BlockWords()))
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:     cfg,
+		pe:      pe,
+		bus:     b,
+		areaOf:  b.Memory().AreaOf,
+		sets:    make([][]line, sets),
+		setMask: word.Addr(sets - 1),
+		offMask: word.Addr(cfg.BlockWords - 1),
+		blockW:  word.Addr(cfg.BlockWords),
+		dir:     newLockDir(cfg.LockEntries),
+	}
+	for i := range c.sets {
+		ways := make([]line, cfg.Ways)
+		for j := range ways {
+			ways[j].data = make([]word.Word, cfg.BlockWords)
+		}
+		c.sets[i] = ways
+	}
+	b.Attach(pe, c, c)
+	return c
+}
+
+// PE returns the processor index.
+func (c *Cache) PE() int { return c.pe }
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Blocked reports whether the PE is busy-waiting on a remote lock.
+func (c *Cache) Blocked() bool { return c.blocked }
+
+// BlockedOn returns the address being waited for (valid when Blocked).
+func (c *Cache) BlockedOn() word.Addr { return c.blockedOn }
+
+func (c *Cache) setIndex(a word.Addr) int {
+	return int((a / c.blockW) & c.setMask)
+}
+
+func (c *Cache) blockBase(a word.Addr) word.Addr { return a &^ c.offMask }
+
+// lookup returns the valid line holding a, or nil.
+func (c *Cache) lookup(a word.Addr) *line {
+	base := c.blockBase(a)
+	set := c.sets[c.setIndex(a)]
+	for i := range set {
+		if set[i].state.Valid() && set[i].base == base {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (c *Cache) touch(l *line) {
+	c.lruClock++
+	l.lru = c.lruClock
+}
+
+// victimFor picks the replacement frame for a block that will be
+// installed at a: an invalid frame if one exists, else the LRU line.
+func (c *Cache) victimFor(a word.Addr) *line {
+	set := c.sets[c.setIndex(a)]
+	var victim *line
+	for i := range set {
+		l := &set[i]
+		if !l.state.Valid() {
+			return l
+		}
+		if victim == nil || l.lru < victim.lru {
+			victim = l
+		}
+	}
+	return victim
+}
+
+// evict writes back a dirty victim through the hidden path (its bus cost
+// is folded into the with-swap-out fetch pattern chosen by the caller).
+func (c *Cache) evictHidden(v *line) {
+	if v.state.Dirty() {
+		c.bus.SwapOutHidden(v.base, v.data)
+		c.stats.SwapOuts++
+	}
+	v.state = INV
+}
+
+// fetchInto performs the bus fetch for a (F when inval is false, FI when
+// true), handling the victim write-back and the busy-wait-then-proceed
+// simplification for non-lock operations, and installs the block. It
+// returns the installed line.
+//
+// Plain R/W operations that hit a remotely locked word are modelled as
+// one aborted (LH) attempt followed by the post-unlock retry: the retry's
+// traffic is the fetch we issue here. This is safe functionally because
+// KL1 data is single-assignment — the value observable before the lock's
+// UW is the consistent pre-state.
+func (c *Cache) fetchInto(a word.Addr, inval bool) *line {
+	victim := c.victimFor(a)
+	vdirty := victim.state.Dirty()
+	res := c.bus.Fetch(c.pe, a, inval, vdirty, false)
+	if res.LockHit {
+		c.stats.BusyWaits++
+		res = c.bus.FetchForced(c.pe, a, inval, vdirty)
+	}
+	c.evictHidden(victim)
+	victim.base = c.blockBase(a)
+	copy(victim.data, res.Data)
+	switch {
+	case inval && res.Shared:
+		// A remote lock in this block denies exclusivity (see
+		// Bus.RemoteLockInBlock); a dirty supply still transfers
+		// write-back ownership.
+		if res.SupplierDirty {
+			victim.state = SM
+		} else {
+			victim.state = S
+		}
+	case inval && res.SupplierDirty:
+		victim.state = EM
+	case inval:
+		victim.state = EC
+	case res.FromCache || res.Shared:
+		victim.state = S
+	default:
+		victim.state = EC
+	}
+	c.touch(victim)
+	return victim
+}
+
+// readInternal is the plain-read path shared by R and the degraded forms
+// of ER/RP/RI. It records hit/miss under op.
+func (c *Cache) readInternal(a word.Addr, op Op) word.Word {
+	if l := c.lookup(a); l != nil {
+		c.stats.Hits[op]++
+		c.touch(l)
+		return l.data[a&c.offMask]
+	}
+	c.stats.Misses[op]++
+	l := c.fetchInto(a, false)
+	return l.data[a&c.offMask]
+}
+
+// writeInternal is the plain-write path shared by W, UW and degraded DW.
+// It records hit/miss under op.
+func (c *Cache) writeInternal(a word.Addr, w word.Word, op Op) {
+	if c.cfg.Protocol == ProtocolWriteThrough {
+		// Write-through with invalidation, write-no-allocate: the store
+		// goes straight to memory (one bus transaction per write), other
+		// copies die, a present local copy is updated in place, and no
+		// block is ever dirty.
+		if l := c.lookup(a); l != nil {
+			c.stats.Hits[op]++
+			c.touch(l)
+			l.data[a&c.offMask] = w
+		} else {
+			c.stats.Misses[op]++
+		}
+		c.bus.WordWrite(c.pe, a, w)
+		return
+	}
+	if l := c.lookup(a); l != nil {
+		c.stats.Hits[op]++
+		c.touch(l)
+		switch l.state {
+		case S, SM:
+			// Writing a shared block: invalidate the other copies. The
+			// block stays non-exclusive (SM) if a remote PE holds a lock
+			// on one of its words; see Bus.RemoteLockInBlock.
+			if !c.bus.Invalidate(c.pe, a, false) {
+				c.stats.BusyWaits++
+				c.bus.ForceInvalidate(c.pe, a)
+			}
+			if c.bus.RemoteLockInBlock(c.pe, a) {
+				l.state = SM
+			} else {
+				l.state = EM
+			}
+		case EC:
+			l.state = EM
+		}
+		l.data[a&c.offMask] = w
+		return
+	}
+	c.stats.Misses[op]++
+	l := c.fetchInto(a, true) // fetch-on-write, invalidating other copies
+	if l.state == S || l.state == SM {
+		l.state = SM // lock-forced non-exclusive grant: stay shared-modified
+	} else {
+		l.state = EM
+	}
+	l.data[a&c.offMask] = w
+}
+
+func (c *Cache) countRef(a word.Addr, op Op) mem.Area {
+	area := c.areaOf(a)
+	c.stats.Refs[area][op]++
+	return area
+}
+
+// Read implements the R operation.
+func (c *Cache) Read(a word.Addr) word.Word {
+	c.countRef(a, OpR)
+	return c.readInternal(a, OpR)
+}
+
+// Write implements the W operation (copy-back, fetch-on-write).
+func (c *Cache) Write(a word.Addr, w word.Word) {
+	c.countRef(a, OpW)
+	c.writeInternal(a, w, OpW)
+}
+
+// DirectWrite implements DW: when the address opens a fresh cache block
+// (block-boundary miss) the block is allocated without fetching from
+// shared memory; otherwise the controller automatically replaces DW with
+// W, exactly as in Section 3.2(1). Software guarantees no remote cache
+// holds the target block; Config.VerifyDW checks that contract.
+func (c *Cache) DirectWrite(a word.Addr, w word.Word) {
+	area := c.countRef(a, OpDW)
+	if c.cfg.Protocol == ProtocolWriteThrough {
+		// DW exists to avoid the fetch-on-write of a copy-back cache;
+		// write-through has no fetch-on-write to avoid.
+		c.stats.DWDegraded++
+		c.writeInternal(a, w, OpDW)
+		return
+	}
+	if !c.cfg.Options.Enabled(area, OptDW) || a&c.offMask != 0 {
+		c.stats.DWDegraded++
+		c.writeInternal(a, w, OpDW)
+		return
+	}
+	if c.lookup(a) != nil {
+		// Already resident (a previous DW to this block): a plain hit.
+		c.stats.DWDegraded++
+		c.writeInternal(a, w, OpDW)
+		return
+	}
+	if c.cfg.VerifyDW && c.bus.RemoteHolder(c.pe, a) {
+		panic(fmt.Sprintf("cache: DW contract violation at %#x: remote copy exists", a))
+	}
+	c.stats.DWApplied++
+	c.stats.Misses[OpDW]++
+	victim := c.victimFor(a)
+	if victim.state.Dirty() {
+		// The only bus activity a direct write can cause: the lone
+		// swap-out pattern (five cycles at base parameters).
+		c.bus.SwapOut(victim.base, victim.data)
+		c.stats.SwapOuts++
+	}
+	victim.state = EM
+	victim.base = c.blockBase(a)
+	for i := range victim.data {
+		victim.data[i] = 0
+	}
+	victim.data[a&c.offMask] = w
+	c.touch(victim)
+}
+
+// ExclusiveRead implements ER per Section 3.2(2): (i) on a miss to a
+// block held remotely, when the address is not the block's last word, it
+// acts as read-invalidate; (ii) on a hit to the block's last word it
+// purges the local copy after reading (read-purge); (iii) otherwise it is
+// a plain R.
+func (c *Cache) ExclusiveRead(a word.Addr) word.Word {
+	area := c.countRef(a, OpER)
+	if c.cfg.Protocol == ProtocolWriteThrough {
+		c.stats.ERDegraded++
+		return c.readInternal(a, OpER)
+	}
+	if !c.cfg.Options.Enabled(area, OptER) {
+		c.stats.ERDegraded++
+		return c.readInternal(a, OpER)
+	}
+	last := a&c.offMask == c.offMask
+	if l := c.lookup(a); l != nil {
+		c.stats.Hits[OpER]++
+		c.touch(l)
+		v := l.data[a&c.offMask]
+		if last {
+			// Case (ii): the block is dead after this read; discard it
+			// even if modified — that is the whole point (the data is
+			// write-once/read-once, so the swap-out would be useless).
+			if l.state.Dirty() {
+				c.stats.PurgedDirty++
+			}
+			l.state = INV
+			c.stats.ERPurge++
+		} else {
+			c.stats.ERDegraded++
+		}
+		return v
+	}
+	c.stats.Misses[OpER]++
+	if !last && c.bus.RemoteHolder(c.pe, a) {
+		// Case (i): fetch with invalidation of the supplier.
+		c.stats.ERInval++
+		l := c.fetchInto(a, true)
+		return l.data[a&c.offMask]
+	}
+	// Case (iii).
+	c.stats.ERDegraded++
+	l := c.fetchInto(a, false)
+	return l.data[a&c.offMask]
+}
+
+// ReadPurge implements RP per Section 3.2(3): on a hit the block is
+// purged after the read; on a miss to a remotely held block the data is
+// transferred, the supplier invalidated, and nothing is installed locally
+// (the fetched block is "forcibly purged after the RP operation").
+func (c *Cache) ReadPurge(a word.Addr) word.Word {
+	area := c.countRef(a, OpRP)
+	if c.cfg.Protocol == ProtocolWriteThrough {
+		c.stats.RPDegraded++
+		return c.readInternal(a, OpRP)
+	}
+	if !c.cfg.Options.Enabled(area, OptRP) {
+		c.stats.RPDegraded++
+		return c.readInternal(a, OpRP)
+	}
+	if l := c.lookup(a); l != nil {
+		c.stats.Hits[OpRP]++
+		v := l.data[a&c.offMask]
+		if l.state.Dirty() {
+			c.stats.PurgedDirty++
+		}
+		l.state = INV
+		c.stats.RPApplied++
+		return v
+	}
+	c.stats.Misses[OpRP]++
+	if c.bus.RemoteHolder(c.pe, a) {
+		res := c.bus.Fetch(c.pe, a, true, false, false)
+		if res.LockHit {
+			c.stats.BusyWaits++
+			res = c.bus.FetchForced(c.pe, a, true, false)
+		}
+		c.stats.RPApplied++
+		return res.Data[a&c.offMask]
+	}
+	// Memory-resident block: a plain read (the paper defines the purge
+	// behaviour only for hits and remote suppliers).
+	c.stats.RPDegraded++
+	l := c.fetchInto(a, false)
+	return l.data[a&c.offMask]
+}
+
+// ReadInvalidate implements RI per Section 3.2(4): a read that takes the
+// block exclusively when it is supplied by another cache, so that the
+// rewrite that immediately follows needs no invalidate bus command.
+func (c *Cache) ReadInvalidate(a word.Addr) word.Word {
+	area := c.countRef(a, OpRI)
+	if c.cfg.Protocol == ProtocolWriteThrough {
+		c.stats.RIDegraded++
+		return c.readInternal(a, OpRI)
+	}
+	if !c.cfg.Options.Enabled(area, OptRI) {
+		c.stats.RIDegraded++
+		return c.readInternal(a, OpRI)
+	}
+	if c.lookup(a) != nil {
+		c.stats.RIDegraded++
+		return c.readInternal(a, OpRI)
+	}
+	c.stats.Misses[OpRI]++
+	if c.bus.RemoteHolder(c.pe, a) {
+		c.stats.RIApplied++
+		l := c.fetchInto(a, true)
+		return l.data[a&c.offMask]
+	}
+	// Memory supplies with no sharers: the plain fetch already grants
+	// exclusivity (EC), so RI adds nothing.
+	c.stats.RIDegraded++
+	l := c.fetchInto(a, false)
+	return l.data[a&c.offMask]
+}
+
+// LockRead implements LR per Section 3.1/3.3. On a hit to an exclusive
+// block no bus command is needed (the no-cost case Table 5 measures).
+// Otherwise LK rides with I (shared hit) or FI (miss); if a remote lock
+// directory answers LH, ok is false: the caller must drop any locks it
+// holds and retry after the machine unblocks this PE on the UL broadcast.
+func (c *Cache) LockRead(a word.Addr) (word.Word, bool) {
+	c.countRef(a, OpLR)
+	if c.dir.held(a) {
+		panic(fmt.Sprintf("cache: PE %d re-locking %#x", c.pe, a))
+	}
+	if l := c.lookup(a); l != nil {
+		c.stats.Hits[OpLR]++
+		c.touch(l)
+		if l.state.Exclusive() {
+			// No other cache can hold the block, hence no other PE can
+			// hold a lock on it: acquire with zero bus cycles.
+			c.stats.LRHitExclusive++
+			c.dir.acquire(a)
+			return l.data[a&c.offMask], true
+		}
+		// Shared hit: LK + I to take ownership. The block upgrades to an
+		// exclusive state unless a remote lock on another of its words
+		// forbids exclusivity.
+		if !c.bus.Invalidate(c.pe, a, true) {
+			c.beginBusyWait(a)
+			return 0, false
+		}
+		if !c.bus.RemoteLockInBlock(c.pe, a) {
+			if l.state == SM {
+				l.state = EM
+			} else {
+				l.state = EC
+			}
+		}
+		c.dir.acquire(a)
+		return l.data[a&c.offMask], true
+	}
+	c.stats.Misses[OpLR]++
+	victim := c.victimFor(a)
+	vdirty := victim.state.Dirty()
+	res := c.bus.Fetch(c.pe, a, true, vdirty, true)
+	if res.LockHit {
+		c.beginBusyWait(a)
+		return 0, false
+	}
+	c.evictHidden(victim)
+	victim.base = c.blockBase(a)
+	copy(victim.data, res.Data)
+	switch {
+	case res.Shared && res.SupplierDirty:
+		victim.state = SM // a remote lock elsewhere in the block denies exclusivity
+	case res.Shared:
+		victim.state = S
+	case res.SupplierDirty:
+		victim.state = EM
+	default:
+		victim.state = EC
+	}
+	c.touch(victim)
+	c.dir.acquire(a)
+	return victim.data[a&c.offMask], true
+}
+
+func (c *Cache) beginBusyWait(a word.Addr) {
+	c.stats.BusyWaits++
+	c.blocked = true
+	c.blockedOn = a
+}
+
+// UnlockWrite implements UW: store the word and release the lock. The UL
+// broadcast is issued only when another PE is waiting (LWAIT), which is
+// the bandwidth optimization Table 5's bottom row measures.
+func (c *Cache) UnlockWrite(a word.Addr, w word.Word) {
+	c.countRef(a, OpUW)
+	c.writeInternal(a, w, OpUW)
+	c.releaseLock(a)
+}
+
+// Unlock implements U: release without writing.
+func (c *Cache) Unlock(a word.Addr) {
+	c.countRef(a, OpU)
+	c.releaseLock(a)
+}
+
+func (c *Cache) releaseLock(a word.Addr) {
+	if c.dir.release(a) {
+		c.stats.UnlockWaiter++
+		c.bus.Unlock(c.pe, a)
+	} else {
+		c.stats.UnlockNoWaiter++
+	}
+}
+
+// HeldLock reports whether this PE currently holds a lock on a (used by
+// runtime assertions and tests).
+func (c *Cache) HeldLock(a word.Addr) bool { return c.dir.held(a) }
+
+// LocksInUse counts currently held locks.
+func (c *Cache) LocksInUse() int { return c.dir.inUse() }
+
+// --- bus.Snooper ---
+
+// SnoopFetch implements bus.Snooper.
+func (c *Cache) SnoopFetch(a word.Addr, inval bool) (data []word.Word, held, dirty, retained bool) {
+	l := c.lookup(a)
+	if l == nil {
+		return nil, false, false, false
+	}
+	data = l.data
+	dirty = l.state.Dirty()
+	if c.cfg.Protocol == ProtocolIllinois && dirty {
+		// Illinois copies a dirty block back to shared memory whenever it
+		// is supplied, so every copy ends up clean. This is exactly the
+		// memory-module pressure the SM state avoids.
+		c.bus.MemoryWriteBack(l.base, l.data)
+		dirty = false
+		if inval {
+			l.state = INV
+		} else {
+			l.state = S
+		}
+		if l.state == INV {
+			c.stats.Invalidations++
+		}
+		return data, true, false, l.state.Valid()
+	}
+	if inval {
+		l.state = INV
+		c.stats.Invalidations++
+		return data, true, dirty, false
+	}
+	// PIM: no copy-back on transfer. A modified supplier keeps write-back
+	// ownership in SM; clean exclusives downgrade to S.
+	switch l.state {
+	case EM:
+		l.state = SM
+	case EC:
+		l.state = S
+	}
+	return data, true, dirty, true
+}
+
+// SnoopInvalidate implements bus.Snooper.
+func (c *Cache) SnoopInvalidate(a word.Addr) {
+	if l := c.lookup(a); l != nil {
+		// The writer's copy holds identical base content plus its new
+		// store, so a dirty copy dies silently; ownership passes to the
+		// writer, which leaves the I command as EM.
+		l.state = INV
+		c.stats.Invalidations++
+	}
+}
+
+// Holds implements bus.Snooper.
+func (c *Cache) Holds(a word.Addr) bool { return c.lookup(a) != nil }
+
+// --- bus.LockUnit ---
+
+// CheckLocked implements bus.LockUnit.
+func (c *Cache) CheckLocked(a word.Addr) bool { return c.dir.snoop(a) }
+
+// LocksInBlock implements bus.LockUnit.
+func (c *Cache) LocksInBlock(base word.Addr, words int) bool {
+	return c.dir.locksInBlock(base, words)
+}
+
+// ObserveUnlock implements bus.LockUnit.
+func (c *Cache) ObserveUnlock(a word.Addr) {
+	if c.blocked && c.blockedOn == a {
+		c.blocked = false
+	}
+}
+
+// --- maintenance ---
+
+// Flush writes every dirty block back to memory and invalidates the whole
+// cache. It is used around garbage collection and for end-of-run
+// verification; it costs no simulated cycles.
+func (c *Cache) Flush() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if l.state.Dirty() {
+				c.bus.Memory().WriteBlock(l.base, l.data)
+			}
+			l.state = INV
+		}
+	}
+}
+
+// StateOf returns the state of the block containing a (INV when absent).
+// Exposed for tests and the protocol-walkthrough example.
+func (c *Cache) StateOf(a word.Addr) State {
+	if l := c.lookup(a); l != nil {
+		return l.state
+	}
+	return INV
+}
+
+// PeekWord returns the cached copy of a, for tests; ok is false on miss.
+func (c *Cache) PeekWord(a word.Addr) (word.Word, bool) {
+	if l := c.lookup(a); l != nil {
+		return l.data[a&c.offMask], true
+	}
+	return 0, false
+}

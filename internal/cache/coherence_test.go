@@ -1,0 +1,197 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/mem"
+)
+
+// checkCoherence verifies the protocol's global invariants over a block:
+//   - at most one cache holds the block in an exclusive state, and then no
+//     other cache holds it at all;
+//   - at most one cache holds a modified (dirty) copy;
+//   - all valid copies contain identical data;
+//   - if no dirty copy exists, every copy matches shared memory.
+func checkCoherence(t *testing.T, m *mem.Memory, caches []*Cache, base word.Addr, bw int) {
+	t.Helper()
+	var exclusive, dirty, holders int
+	var ref []word.Word
+	for _, c := range caches {
+		st := c.StateOf(base)
+		if !st.Valid() {
+			continue
+		}
+		holders++
+		if st.Exclusive() {
+			exclusive++
+		}
+		if st.Dirty() {
+			dirty++
+		}
+		data := make([]word.Word, bw)
+		for i := 0; i < bw; i++ {
+			w, _ := c.PeekWord(base + word.Addr(i))
+			data[i] = w
+		}
+		if ref == nil {
+			ref = data
+		} else {
+			for i := range ref {
+				if ref[i] != data[i] {
+					t.Fatalf("block %#x: divergent copies at word %d: %v vs %v",
+						base, i, ref[i], data[i])
+				}
+			}
+		}
+	}
+	if exclusive > 0 && holders > 1 {
+		t.Fatalf("block %#x: exclusive copy coexists with %d holders", base, holders)
+	}
+	if dirty > 1 {
+		t.Fatalf("block %#x: %d dirty copies", base, dirty)
+	}
+	if dirty == 0 && ref != nil {
+		for i := range ref {
+			if got := m.Read(base + word.Addr(i)); got != ref[i] {
+				t.Fatalf("block %#x word %d: clean copies (%v) disagree with memory (%v)",
+					base, i, ref[i], got)
+			}
+		}
+	}
+}
+
+// TestRandomizedCoherence drives four caches with a random mix of reads,
+// writes, direct writes, read-invalidates and lock/unlock pairs over a
+// small address range, checking the shadow model and the coherence
+// invariants after every operation. ER/RP are excluded because their
+// deliberate dirty-purge breaks the shadow model (covered by targeted
+// tests instead).
+func TestRandomizedCoherence(t *testing.T) {
+	const (
+		pes   = 4
+		steps = 6000
+		span  = 96 // words of heap exercised: 24 blocks over 4-set caches
+	)
+	m := mem.New(mem.Layout{InstWords: 64, HeapWords: 4096, GoalWords: 256, SuspWords: 64, CommWords: 64})
+	b := bus.New(bus.Config{Timing: bus.DefaultTiming(), BlockWords: 4}, m)
+	caches := make([]*Cache, pes)
+	opts := OptionsAll()
+	opts.PerArea[mem.AreaHeap] |= OptRI
+	for i := range caches {
+		caches[i] = New(Config{
+			SizeWords: 64, BlockWords: 4, Ways: 4, LockEntries: 4,
+			Options: opts, Protocol: ProtocolPIM,
+		}, i, b)
+	}
+	base := m.Bounds().HeapBase
+	shadow := make(map[word.Addr]word.Word)
+	rng := rand.New(rand.NewSource(9))
+	freshTop := base + span // DW is only legal on fresh (never-shared) blocks
+
+	for step := 0; step < steps; step++ {
+		pe := rng.Intn(pes)
+		c := caches[pe]
+		a := base + word.Addr(rng.Intn(span))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // read
+			got := c.Read(a)
+			if want, ok := shadow[a]; ok && got != want {
+				t.Fatalf("step %d: PE%d read %#x = %v, want %v", step, pe, a, got, want)
+			}
+		case 4, 5, 6: // write
+			w := word.Int(int64(step))
+			c.Write(a, w)
+			shadow[a] = w
+		case 7: // read-invalidate then rewrite
+			got := c.ReadInvalidate(a)
+			if want, ok := shadow[a]; ok && got != want {
+				t.Fatalf("step %d: PE%d RI %#x = %v, want %v", step, pe, a, got, want)
+			}
+			w := word.Int(int64(step))
+			c.Write(a, w)
+			shadow[a] = w
+		case 8: // lock / unlock-write pair (conflict-free: same PE)
+			w, ok := c.LockRead(a)
+			if !ok {
+				t.Fatalf("step %d: single-threaded LR blocked", step)
+			}
+			if want, seen := shadow[a]; seen && w != want {
+				t.Fatalf("step %d: LR %#x = %v, want %v", step, a, w, want)
+			}
+			nw := word.Int(int64(-step - 1))
+			c.UnlockWrite(a, nw)
+			shadow[a] = nw
+		case 9: // direct write to a genuinely fresh block
+			fa := freshTop
+			freshTop += 4
+			w := word.Int(int64(step))
+			c.DirectWrite(fa, w)
+			shadow[fa] = w
+		}
+		if step%17 == 0 {
+			for blk := word.Addr(0); blk < span; blk += 4 {
+				checkCoherence(t, m, caches, base+blk, 4)
+			}
+		}
+	}
+	// Final full sweep: every shadowed word must be readable with its
+	// last-written value from every PE.
+	for a, want := range shadow {
+		if got := caches[0].Read(a); got != want {
+			t.Fatalf("final read %#x = %v, want %v", a, got, want)
+		}
+	}
+	for _, c := range caches {
+		if c.LocksInUse() != 0 {
+			t.Error("locks leaked")
+		}
+	}
+}
+
+// TestRandomizedCoherenceIllinois runs the same workload under the
+// Illinois baseline.
+func TestRandomizedCoherenceIllinois(t *testing.T) {
+	const pes = 3
+	m := mem.New(mem.Layout{InstWords: 64, HeapWords: 4096, GoalWords: 256, SuspWords: 64, CommWords: 64})
+	b := bus.New(bus.Config{Timing: bus.DefaultTiming(), BlockWords: 4}, m)
+	caches := make([]*Cache, pes)
+	for i := range caches {
+		caches[i] = New(Config{
+			SizeWords: 64, BlockWords: 4, Ways: 4, LockEntries: 4,
+			Protocol: ProtocolIllinois,
+		}, i, b)
+	}
+	base := m.Bounds().HeapBase
+	shadow := make(map[word.Addr]word.Word)
+	rng := rand.New(rand.NewSource(4))
+	for step := 0; step < 4000; step++ {
+		pe := rng.Intn(pes)
+		a := base + word.Addr(rng.Intn(64))
+		if rng.Intn(2) == 0 {
+			got := caches[pe].Read(a)
+			if want, ok := shadow[a]; ok && got != want {
+				t.Fatalf("step %d: read %#x = %v, want %v", step, a, got, want)
+			}
+		} else {
+			w := word.Int(int64(step))
+			caches[pe].Write(a, w)
+			shadow[a] = w
+		}
+		if step%23 == 0 {
+			for blk := word.Addr(0); blk < 64; blk += 4 {
+				checkCoherence(t, m, caches, base+blk, 4)
+			}
+		}
+	}
+	// Under Illinois, SM must never appear.
+	for _, c := range caches {
+		for a := base; a < base+64; a++ {
+			if c.StateOf(a) == SM {
+				t.Fatal("Illinois cache entered SM")
+			}
+		}
+	}
+}

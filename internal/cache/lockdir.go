@@ -1,0 +1,104 @@
+package cache
+
+import (
+	"fmt"
+
+	"pimcache/internal/kl1/word"
+)
+
+// lockEntry is one word-granular lock held by this PE.
+type lockEntry struct {
+	addr  word.Addr
+	state LockState
+}
+
+// lockDir is the PE's lock directory (Section 3.1): a handful of entries,
+// separate from the cache directory, that register the word addresses
+// this PE has locked with LR. The directory snoops the bus: a remote
+// command touching a locked word gets the LH response and the entry moves
+// LCK -> LWAIT so that the eventual unlock is broadcast.
+type lockDir struct {
+	entries []lockEntry
+}
+
+func newLockDir(n int) *lockDir {
+	return &lockDir{entries: make([]lockEntry, n)}
+}
+
+// find returns the index of the entry for addr, or -1.
+func (d *lockDir) find(addr word.Addr) int {
+	for i := range d.entries {
+		if d.entries[i].state != EMP && d.entries[i].addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// held reports whether this PE holds a lock on addr.
+func (d *lockDir) held(addr word.Addr) bool { return d.find(addr) >= 0 }
+
+// acquire registers a lock on addr in the LCK state. It panics if the
+// address is already locked by this PE (KL1 locks are not reentrant; a
+// double LR is a runtime bug) or if the directory is full (the paper
+// argues one or two entries suffice; overflow means the runtime holds
+// more simultaneous locks than the hardware provides).
+func (d *lockDir) acquire(addr word.Addr) {
+	if d.find(addr) >= 0 {
+		panic(fmt.Sprintf("cache: double lock of %#x", addr))
+	}
+	for i := range d.entries {
+		if d.entries[i].state == EMP {
+			d.entries[i] = lockEntry{addr: addr, state: LCK}
+			return
+		}
+	}
+	panic(fmt.Sprintf("cache: lock directory overflow locking %#x", addr))
+}
+
+// release frees the entry for addr and reports whether any PE was
+// waiting (LWAIT), in which case the caller must broadcast UL. It panics
+// on unlocking an address this PE does not hold — an unmatched U/UW is a
+// runtime bug.
+func (d *lockDir) release(addr word.Addr) (hadWaiter bool) {
+	i := d.find(addr)
+	if i < 0 {
+		panic(fmt.Sprintf("cache: unlock of unheld address %#x", addr))
+	}
+	hadWaiter = d.entries[i].state == LWAIT
+	d.entries[i] = lockEntry{}
+	return hadWaiter
+}
+
+// snoop is the bus-side check: if addr is locked here, record the waiter
+// and report a lock hit.
+func (d *lockDir) snoop(addr word.Addr) bool {
+	i := d.find(addr)
+	if i < 0 {
+		return false
+	}
+	d.entries[i].state = LWAIT
+	return true
+}
+
+// locksInBlock reports whether any entry falls within [base, base+words).
+func (d *lockDir) locksInBlock(base word.Addr, words int) bool {
+	for i := range d.entries {
+		e := &d.entries[i]
+		if e.state != EMP && e.addr >= base && e.addr < base+word.Addr(words) {
+			return true
+		}
+	}
+	return false
+}
+
+// inUse counts active entries.
+func (d *lockDir) inUse() int {
+	n := 0
+	for i := range d.entries {
+		if d.entries[i].state != EMP {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"testing"
+
+	"pimcache/internal/kl1/word"
+)
+
+func TestLockDirAcquireRelease(t *testing.T) {
+	d := newLockDir(2)
+	d.acquire(100)
+	if !d.held(100) || d.held(101) {
+		t.Error("held() wrong")
+	}
+	if d.inUse() != 1 {
+		t.Errorf("inUse = %d", d.inUse())
+	}
+	if d.release(100) {
+		t.Error("release reported a waiter without one")
+	}
+	if d.held(100) || d.inUse() != 0 {
+		t.Error("release incomplete")
+	}
+}
+
+func TestLockDirWaiterTransition(t *testing.T) {
+	d := newLockDir(2)
+	d.acquire(50)
+	if !d.snoop(50) {
+		t.Fatal("snoop missed the lock")
+	}
+	// LCK -> LWAIT: the release must now report a waiter.
+	if !d.release(50) {
+		t.Error("waiter lost")
+	}
+}
+
+func TestLockDirSnoopMiss(t *testing.T) {
+	d := newLockDir(2)
+	d.acquire(50)
+	if d.snoop(51) {
+		t.Error("snoop matched the wrong word")
+	}
+}
+
+func TestLockDirTwoEntries(t *testing.T) {
+	d := newLockDir(2)
+	d.acquire(10)
+	d.acquire(20)
+	if d.inUse() != 2 {
+		t.Errorf("inUse = %d", d.inUse())
+	}
+	d.release(10)
+	d.acquire(30) // reuses the freed entry
+	if !d.held(20) || !d.held(30) || d.held(10) {
+		t.Error("entry reuse broken")
+	}
+}
+
+func TestLockDirOverflowPanics(t *testing.T) {
+	d := newLockDir(1)
+	d.acquire(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	d.acquire(2)
+}
+
+func TestLockDirDoubleAcquirePanics(t *testing.T) {
+	d := newLockDir(2)
+	d.acquire(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("double acquire did not panic")
+		}
+	}()
+	d.acquire(1)
+}
+
+func TestLockDirReleaseUnheldPanics(t *testing.T) {
+	d := newLockDir(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("release of unheld lock did not panic")
+		}
+	}()
+	d.release(9)
+}
+
+func TestLockDirLocksInBlock(t *testing.T) {
+	d := newLockDir(4)
+	d.acquire(102)
+	cases := []struct {
+		base word.Addr
+		n    int
+		want bool
+	}{
+		{100, 4, true},
+		{102, 1, true},
+		{103, 4, false},
+		{96, 4, false},
+		{100, 2, false},
+	}
+	for _, tc := range cases {
+		if got := d.locksInBlock(tc.base, tc.n); got != tc.want {
+			t.Errorf("locksInBlock(%d,%d) = %v, want %v", tc.base, tc.n, got, tc.want)
+		}
+	}
+}

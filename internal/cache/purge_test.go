@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/mem"
+)
+
+// TestRandomizedCoherenceWithPurges extends the randomized protocol test
+// to the destructive commands (ER/RP) using the goal area's
+// write-once/read-once discipline: per-record lifecycles of
+// DW-create -> ER/RP-consume -> recycle, interleaved across PEs, with the
+// inter-cache coherence invariants checked throughout. The shadow model
+// tracks which records are "live" (written, unread): live records must
+// read back their written values; consumed records are dead until
+// rewritten.
+func TestRandomizedCoherenceWithPurges(t *testing.T) {
+	const (
+		pes     = 4
+		records = 24
+		recSize = 8 // two 4-word blocks
+		steps   = 8000
+	)
+	m := mem.New(mem.Layout{InstWords: 64, HeapWords: 256,
+		GoalWords: records * recSize, SuspWords: 64, CommWords: 64})
+	b := bus.New(bus.Config{Timing: bus.DefaultTiming(), BlockWords: 4}, m)
+	caches := make([]*Cache, pes)
+	for i := range caches {
+		caches[i] = New(Config{
+			SizeWords: 64, BlockWords: 4, Ways: 4, LockEntries: 4,
+			Options: OptionsGoal(), Protocol: ProtocolPIM, VerifyDW: true,
+		}, i, b)
+	}
+	base := m.Bounds().GoalBase
+	rng := rand.New(rand.NewSource(11))
+
+	type recState struct {
+		live   bool
+		values [recSize]int64
+	}
+	state := make([]recState, records)
+	recAddr := func(i int) word.Addr { return base + word.Addr(i*recSize) }
+
+	// consume reads a record with the ER/RP discipline (RP on a final
+	// word that is not block-last; here recSize is a block multiple, so
+	// every block's last word goes through ER's purge case).
+	consume := func(c *Cache, rec int, upto int) {
+		a := recAddr(rec)
+		for i := 0; i < upto; i++ {
+			w := a + word.Addr(i)
+			var got word.Word
+			if i == upto-1 && w&3 != 3 {
+				got = c.ReadPurge(w)
+			} else {
+				got = c.ExclusiveRead(w)
+			}
+			if want := state[rec].values[i]; got.IntVal() != want {
+				t.Fatalf("record %d word %d: read %v, want %d", rec, i, got, want)
+			}
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		pe := rng.Intn(pes)
+		c := caches[pe]
+		rec := rng.Intn(records)
+		if !state[rec].live {
+			// Produce: DW the whole record.
+			a := recAddr(rec)
+			for i := 0; i < recSize; i++ {
+				v := int64(step*100 + i)
+				c.DirectWrite(a+word.Addr(i), word.Int(v))
+				state[rec].values[i] = v
+			}
+			state[rec].live = true
+		} else {
+			// Consume fully (any PE: models migration).
+			consume(c, rec, recSize)
+			state[rec].live = false
+		}
+		if step%13 == 0 {
+			for r := 0; r < records; r++ {
+				for blk := word.Addr(0); blk < recSize; blk += 4 {
+					checkCoherence(t, m, caches, recAddr(r)+blk, 4)
+				}
+			}
+		}
+	}
+	// Drain: every live record must still read back correctly.
+	for rec := range state {
+		if state[rec].live {
+			consume(caches[rng.Intn(pes)], rec, recSize)
+		}
+	}
+}
+
+// TestPartialConsumeWithRP covers the paper's RP rationale: a reading
+// area that is NOT a multiple of the block size ends with RP, purging the
+// partially-read block, so the record can be recycled with DW.
+func TestPartialConsumeWithRP(t *testing.T) {
+	m := mem.New(mem.Layout{InstWords: 64, HeapWords: 256, GoalWords: 64, SuspWords: 32, CommWords: 32})
+	b := bus.New(bus.Config{Timing: bus.DefaultTiming(), BlockWords: 4}, m)
+	c0 := New(Config{SizeWords: 64, BlockWords: 4, Ways: 4, LockEntries: 2,
+		Options: OptionsGoal(), VerifyDW: true}, 0, b)
+	c1 := New(Config{SizeWords: 64, BlockWords: 4, Ways: 4, LockEntries: 2,
+		Options: OptionsGoal(), VerifyDW: true}, 1, b)
+	rec := m.Bounds().GoalBase
+
+	for round := 0; round < 6; round++ {
+		producer, consumer := c0, c1
+		if round%2 == 1 {
+			producer, consumer = c1, c0
+		}
+		// Write 6 of 8 words (1.5 blocks).
+		for i := 0; i < 6; i++ {
+			producer.DirectWrite(rec+word.Addr(i), word.Int(int64(round*10+i)))
+		}
+		// Read 6 words: words 0..4 with ER (word 3 purges block 0), word
+		// 5 with RP (purges block 1 mid-block).
+		for i := 0; i < 6; i++ {
+			a := rec + word.Addr(i)
+			var got word.Word
+			if i == 5 {
+				got = consumer.ReadPurge(a)
+			} else {
+				got = consumer.ExclusiveRead(a)
+			}
+			if got.IntVal() != int64(round*10+i) {
+				t.Fatalf("round %d word %d: %v", round, i, got)
+			}
+		}
+		// Both blocks must be gone from both caches so the next round's
+		// DW is legal (VerifyDW enforces it).
+		for _, c := range []*Cache{c0, c1} {
+			if c.Holds(rec) || c.Holds(rec+4) {
+				t.Fatalf("round %d: record block still cached", round)
+			}
+		}
+	}
+}

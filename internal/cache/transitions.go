@@ -1,0 +1,249 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/mem"
+)
+
+// Transition-table derivation.
+//
+// The paper refers to Matsumoto's ICOT TR-327 for "the complete state
+// transition tables of the PIM cache protocol". This file reconstructs
+// those tables empirically: it drives a small two-cache system into every
+// reachable local state under every remote-context scenario, applies each
+// processor operation, and records the resulting local state and bus
+// commands. The result is both documentation (cmd/pimtable prints it) and
+// a regression artifact (a golden test pins every row).
+
+// TransitionRow is one derived protocol transition.
+type TransitionRow struct {
+	// Start is the local cache's state for the block before the access.
+	Start State
+	// Remote describes the other cache's copy: "-" none, or a state name.
+	Remote string
+	// Op is the processor operation applied (with its applicability
+	// conditions satisfied; DW at a fresh block boundary, ER at a
+	// non-final word on miss etc. are exercised by dedicated scenarios).
+	Op string
+	// End is the local state afterwards.
+	End State
+	// RemoteEnd is the other cache's state afterwards.
+	RemoteEnd string
+	// BusOps summarizes the bus commands issued ("-" for none).
+	BusOps string
+	// Cycles is the bus cost of the access at base parameters.
+	Cycles uint64
+}
+
+// DeriveTransitions computes the protocol transition table for the given
+// protocol by direct experiment.
+func DeriveTransitions(proto Protocol) []TransitionRow {
+	type scenario struct {
+		local  State
+		remote string // "-", "S", "SM", "EC", "EM"
+	}
+	var scenarios []scenario
+	for _, l := range []State{INV, S, SM, EC, EM} {
+		switch l {
+		case INV:
+			for _, r := range []string{"-", "S", "EC", "EM", "SM"} {
+				scenarios = append(scenarios, scenario{l, r})
+			}
+		case S, SM:
+			// A shared copy may coexist with a remote S copy (or, for S,
+			// a remote SM owner) or stand alone.
+			scenarios = append(scenarios, scenario{l, "-"}, scenario{l, "S"})
+			if l == S {
+				scenarios = append(scenarios, scenario{l, "SM"})
+			}
+		case EC, EM:
+			scenarios = append(scenarios, scenario{l, "-"})
+		}
+	}
+	ops := []string{"R", "W", "DW", "ER", "RP", "RI", "LR"}
+
+	var rows []TransitionRow
+	for _, sc := range scenarios {
+		for _, op := range ops {
+			if proto == ProtocolWriteThrough && (sc.local == SM || sc.local == EM ||
+				sc.remote == "SM" || sc.remote == "EM") {
+				continue // dirty states are unreachable under write-through
+			}
+			if proto == ProtocolIllinois && (sc.local == SM || sc.remote == "SM") {
+				continue // SM is unreachable under Illinois
+			}
+			if row, ok := deriveOne(proto, sc.local, sc.remote, op); ok {
+				rows = append(rows, row)
+			}
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Start != rows[j].Start {
+			return rows[i].Start < rows[j].Start
+		}
+		if rows[i].Remote != rows[j].Remote {
+			return rows[i].Remote < rows[j].Remote
+		}
+		return rows[i].Op < rows[j].Op
+	})
+	return rows
+}
+
+// deriveOne prepares the scenario and applies the op on PE0.
+func deriveOne(proto Protocol, local State, remote, op string) (TransitionRow, bool) {
+	layout := mem.Layout{InstWords: 64, HeapWords: 4096, GoalWords: 256, SuspWords: 64, CommWords: 64}
+	m := mem.New(layout)
+	b := bus.New(bus.Config{Timing: bus.DefaultTiming(), BlockWords: 4}, m)
+	var opts Options
+	// Enable every optimized command in the heap area so the table shows
+	// their genuine transitions.
+	opts.PerArea[mem.AreaHeap] = OptAll
+	cfg := Config{SizeWords: 64, BlockWords: 4, Ways: 4, LockEntries: 2,
+		Options: opts, Protocol: proto}
+	c0 := New(cfg, 0, b)
+	c1 := New(cfg, 1, b)
+	a := m.Bounds().HeapBase
+	m.Write(a, word.Int(1))
+
+	// Build the starting configuration. Orders of operations are chosen
+	// so the last action leaves exactly the desired states.
+	set := func() bool {
+		switch {
+		case local == INV && remote == "-":
+		case local == INV && remote == "S":
+			c1.Read(a)
+			c0.Read(a)
+			c0.SnoopInvalidateSelf(a) // drop only the local copy
+			if c1.StateOf(a) != S {
+				// Reading downgraded c1 to S; keep it.
+				return c1.StateOf(a) == S
+			}
+		case local == INV && remote == "EC":
+			c1.Read(a)
+		case local == INV && remote == "EM":
+			c1.Write(a, word.Int(2))
+		case local == INV && remote == "SM":
+			c1.Write(a, word.Int(2))
+			c0.Read(a) // c1 -> SM, c0 -> S
+			c0.SnoopInvalidateSelf(a)
+		case local == S && remote == "-":
+			c1.Read(a)
+			c0.Read(a) // both S
+			c1.SnoopInvalidateSelf(a)
+		case local == S && remote == "S":
+			c1.Read(a)
+			c0.Read(a)
+		case local == S && remote == "SM":
+			c1.Write(a, word.Int(2))
+			c0.Read(a)
+		case local == SM && remote == "-":
+			c0.Write(a, word.Int(2))
+			c1.Read(a) // c0 SM, c1 S
+			c1.SnoopInvalidateSelf(a)
+		case local == SM && remote == "S":
+			c0.Write(a, word.Int(2))
+			c1.Read(a)
+		case local == EC && remote == "-":
+			c0.Read(a)
+		case local == EM && remote == "-":
+			c0.Write(a, word.Int(2))
+		default:
+			return false
+		}
+		return c0.StateOf(a) == local && remoteName(c1, a) == remote
+	}
+	if !set() {
+		return TransitionRow{}, false
+	}
+	b.ResetStats()
+	pre := b.Stats()
+
+	switch op {
+	case "R":
+		c0.Read(a)
+	case "W":
+		c0.Write(a, word.Int(9))
+	case "DW":
+		// DW's genuine form needs a fresh block; in-place it degrades, so
+		// only the INV/- scenario shows the allocation-without-fetch.
+		if local != INV || remote != "-" {
+			return TransitionRow{}, false
+		}
+		c0.DirectWrite(a, word.Int(9))
+	case "ER":
+		c0.ExclusiveRead(a + 3) // last word of the block: the purge case
+	case "RP":
+		c0.ReadPurge(a)
+	case "RI":
+		c0.ReadInvalidate(a)
+	case "LR":
+		if _, ok := c0.LockRead(a); ok {
+			defer c0.Unlock(a)
+		}
+	}
+	post := b.Stats()
+	return TransitionRow{
+		Start:     local,
+		Remote:    remote,
+		Op:        op,
+		End:       c0.StateOf(a),
+		RemoteEnd: remoteName(c1, a),
+		BusOps:    busOps(&pre, &post),
+		Cycles:    post.TotalCycles - pre.TotalCycles,
+	}, true
+}
+
+func remoteName(c *Cache, a word.Addr) string {
+	st := c.StateOf(a)
+	if st == INV {
+		return "-"
+	}
+	return st.String()
+}
+
+func busOps(pre, post *bus.Stats) string {
+	var parts []string
+	for cmd := bus.Command(0); cmd < bus.NumCommands; cmd++ {
+		if n := post.Commands[cmd] - pre.Commands[cmd]; n > 0 {
+			if n == 1 {
+				parts = append(parts, cmd.String())
+			} else {
+				parts = append(parts, fmt.Sprintf("%s x%d", cmd, n))
+			}
+		}
+	}
+	if post.CountByPattern[bus.PatWordWrite] > pre.CountByPattern[bus.PatWordWrite] {
+		parts = append(parts, "WT")
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "+")
+}
+
+// SnoopInvalidateSelf drops this cache's copy of a block without touching
+// the rest of the system; used only to construct transition-table
+// scenarios and tests.
+func (c *Cache) SnoopInvalidateSelf(a word.Addr) {
+	if l := c.lookup(a); l != nil {
+		l.state = INV
+	}
+}
+
+// FormatTransitions renders the derived table.
+func FormatTransitions(rows []TransitionRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %-7s %-4s %-6s %-7s %-12s %s\n",
+		"state", "remote", "op", "state'", "remote'", "bus", "cycles")
+	sb.WriteString(strings.Repeat("-", 56) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-6s %-7s %-4s %-6s %-7s %-12s %d\n",
+			r.Start, r.Remote, r.Op, r.End, r.RemoteEnd, r.BusOps, r.Cycles)
+	}
+	return sb.String()
+}

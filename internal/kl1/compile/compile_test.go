@@ -1,0 +1,192 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"pimcache/internal/kl1/parser"
+	"pimcache/internal/kl1/word"
+)
+
+func mustCompile(t *testing.T, src string) *Image {
+	t.Helper()
+	im, err := Compile(parser.MustParse(src), word.NewTable())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return im
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ a, b, c int }{
+		{0, 0, 0}, {1, 2, 3}, {0xFFFF, 0xFFFF, 0xFFFF}, {0x1234, 0, 0x8000},
+	} {
+		w := Encode(OpSpawn, tc.a, tc.b, tc.c)
+		op, a, b, c := Decode(w)
+		if op != OpSpawn || a != tc.a || b != tc.b || c != tc.c {
+			t.Errorf("round trip %v: got %v %d %d %d", tc, op, a, b, c)
+		}
+	}
+}
+
+func TestEncodeRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized operand did not panic")
+		}
+	}()
+	Encode(OpMove, 0x10000, 0, 0)
+}
+
+func TestGoalHeaderRoundTrip(t *testing.T) {
+	w := EncodeGoalHeader(BuiltinPrint, 1)
+	p, a := DecodeGoalHeader(w)
+	if p != BuiltinPrint || a != 1 {
+		t.Errorf("got %d/%d", p, a)
+	}
+}
+
+func TestCompileSimpleProgram(t *testing.T) {
+	im := mustCompile(t, `
+main :- true | p(1, R), println(R).
+p(X, Y) :- X > 0 | Y = X.
+p(X, Y) :- otherwise | Y = 0.
+`)
+	if len(im.Procs) != 2 {
+		t.Fatalf("procs %d", len(im.Procs))
+	}
+	if i, ok := im.ProcIndexOf("main", 0); !ok || im.Procs[i].Key() != "main/0" {
+		t.Error("main/0 missing")
+	}
+	if _, ok := im.ProcIndexOf("p", 2); !ok {
+		t.Error("p/2 missing")
+	}
+	if len(im.Code) == 0 {
+		t.Error("empty code image")
+	}
+	// Every procedure must end with OpSuspend and entries must be within
+	// the image.
+	for _, pi := range im.Procs {
+		if pi.Entry < 0 || pi.Entry >= len(im.Code) {
+			t.Errorf("%s entry %d out of image", pi.Key(), pi.Entry)
+		}
+		op, _, _, _ := Decode(im.Code[pi.Entry])
+		if op != OpTry {
+			t.Errorf("%s does not start with try: %v", pi.Key(), op)
+		}
+	}
+}
+
+func TestCompileUndefinedProcedure(t *testing.T) {
+	_, err := Compile(parser.MustParse("main :- true | nosuch(1)."), word.NewTable())
+	if err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCompileGuardVarNotInHead(t *testing.T) {
+	_, err := Compile(parser.MustParse("p(X) :- Y > 0 | q(X).\nq(_)."), word.NewTable())
+	if err == nil || !strings.Contains(err.Error(), "does not occur in the head") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCompileTryFailChain(t *testing.T) {
+	im := mustCompile(t, `
+p(0) :- true | true.
+p(1) :- true | true.
+`)
+	entry := im.Procs[0].Entry
+	op, hi, lo, _ := Decode(im.Code[entry])
+	if op != OpTry {
+		t.Fatalf("entry op %v", op)
+	}
+	fail1 := hi<<16 | lo
+	op2, hi2, lo2, _ := Decode(im.Code[fail1])
+	if op2 != OpTry {
+		t.Fatalf("fail target op %v, want try of clause 2", op2)
+	}
+	fail2 := hi2<<16 | lo2
+	opS, a, b, _ := Decode(im.Code[fail2])
+	if opS != OpSuspend || a != 0 || b != 1 {
+		t.Errorf("second fail target %v %d %d, want suspend p/1", opS, a, b)
+	}
+}
+
+func TestCompileInlineVsSpawnedArith(t *testing.T) {
+	// N is guard-checked: inline. H comes from a list cell: spawned.
+	im := mustCompile(t, `
+p(N, Y) :- N > 0 | Y := N - 1.
+q([H|T], Y) :- true | Y := H + 1, q(T, Y).
+`)
+	counts := opCounts(im)
+	if counts[OpArith] == 0 {
+		t.Error("no inline arith for guard-bound operand")
+	}
+	if counts[OpSpawn] == 0 {
+		t.Error("no spawned arith builtin for list-component operand")
+	}
+}
+
+func TestCompileOtherwiseEmitsBarrier(t *testing.T) {
+	im := mustCompile(t, `
+p(0) :- true | true.
+p(X) :- otherwise | true.
+`)
+	if opCounts(im)[OpOtherwise] != 1 {
+		t.Error("otherwise barrier missing")
+	}
+}
+
+func TestCompileNonlinearHeadUsesMatchEq(t *testing.T) {
+	im := mustCompile(t, "same(X, X) :- true | true.")
+	if opCounts(im)[OpMatchEq] != 1 {
+		t.Error("nonlinear head did not emit match_eq")
+	}
+}
+
+func TestCompileNestedPatterns(t *testing.T) {
+	im := mustCompile(t, "p(f([a|T], 3)) :- true | q(T).\nq(_).")
+	c := opCounts(im)
+	if c[OpWaitStruct] != 1 || c[OpWaitList] != 1 || c[OpWaitConst] != 2 {
+		t.Errorf("counts %v", c)
+	}
+}
+
+func TestCompileArityLimit(t *testing.T) {
+	src := "p(A1,A2,A3,A4,A5,A6,A7,A8,A9,A10,A11,A12,A13,A14) :- true | true."
+	if _, err := Compile(parser.MustParse(src), word.NewTable()); err == nil {
+		t.Error("arity 14 accepted; goal records only hold 13 args")
+	}
+}
+
+func TestCompileBodyComparisonRejected(t *testing.T) {
+	_, err := Compile(parser.MustParse("p(X) :- true | X > 1."), word.NewTable())
+	if err == nil {
+		t.Error("comparison in body accepted")
+	}
+}
+
+func TestOpStringAndImmediates(t *testing.T) {
+	if OpSpawn.String() != "spawn" || OpWaitConst.String() != "wait_const" {
+		t.Error("op names")
+	}
+	if !OpWaitConst.HasImmediate() || !OpPutStruct.HasImmediate() || OpMove.HasImmediate() {
+		t.Error("immediate classification")
+	}
+	if ArithName(ArithMod) != "mod" {
+		t.Error("arith name")
+	}
+}
+
+func opCounts(im *Image) map[Op]int {
+	counts := map[Op]int{}
+	for i := 0; i < len(im.Code); i++ {
+		op, _, _, _ := Decode(im.Code[i])
+		counts[op]++
+		if op.HasImmediate() {
+			i++
+		}
+	}
+	return counts
+}

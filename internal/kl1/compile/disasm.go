@@ -1,0 +1,128 @@
+package compile
+
+import (
+	"fmt"
+	"strings"
+
+	"pimcache/internal/kl1/word"
+)
+
+// Disassemble renders the whole image as readable assembly, one
+// procedure per block, with code offsets. Useful for compiler debugging
+// and for understanding what the emulator fetches from the instruction
+// area.
+func (im *Image) Disassemble() string {
+	var sb strings.Builder
+	entries := make(map[int]string)
+	for _, p := range im.Procs {
+		entries[p.Entry] = p.Key()
+	}
+	for pc := 0; pc < len(im.Code); {
+		if name, ok := entries[pc]; ok {
+			fmt.Fprintf(&sb, "\n%s:\n", name)
+		}
+		text, size := im.DisasmAt(pc)
+		fmt.Fprintf(&sb, "%5d  %s\n", pc, text)
+		pc += size
+	}
+	return strings.TrimLeft(sb.String(), "\n")
+}
+
+// DisasmAt renders the instruction at code offset pc and reports its
+// size in words (1, or 2 with an immediate).
+func (im *Image) DisasmAt(pc int) (string, int) {
+	op, a, b, c := Decode(im.Code[pc])
+	imm := word.Word(0)
+	size := 1
+	if op.HasImmediate() {
+		imm = im.Code[pc+1]
+		size = 2
+	}
+	return im.renderInstr(op, a, b, c, imm), size
+}
+
+func (im *Image) procRef(idx int) string {
+	if IsBuiltin(idx) {
+		switch {
+		case idx >= BuiltinArith && idx < BuiltinArith+5:
+			return "$arith(" + ArithName(idx-BuiltinArith) + ")/3"
+		case idx == BuiltinPrint:
+			return "print/1"
+		case idx == BuiltinPrintln:
+			return "println/1"
+		case idx == BuiltinUnify:
+			return "$unify/2"
+		case idx == BuiltinNewVec:
+			return "new_vector/2"
+		case idx == BuiltinVecElem:
+			return "vector_element/3"
+		case idx == BuiltinSetVec:
+			return "set_vector_element/4"
+		}
+		return fmt.Sprintf("$builtin(%d)", idx)
+	}
+	if idx >= 0 && idx < len(im.Procs) {
+		return im.Procs[idx].Key()
+	}
+	return fmt.Sprintf("proc(%d)", idx)
+}
+
+func (im *Image) immString(imm word.Word) string {
+	if im.Atoms != nil {
+		return im.Atoms.WordString(imm)
+	}
+	return imm.String()
+}
+
+func (im *Image) renderInstr(op Op, a, b, c int, imm word.Word) string {
+	switch op {
+	case OpNop, OpOtherwise, OpCommit, OpProceed:
+		return op.String()
+	case OpTry:
+		return fmt.Sprintf("try        fail=%d", a<<16|b)
+	case OpExec:
+		return fmt.Sprintf("exec       %s, args=X%d..", im.procRef(a), c)
+	case OpSpawn:
+		return fmt.Sprintf("spawn      %s, args=X%d..", im.procRef(a), c)
+	case OpSuspend:
+		return fmt.Sprintf("suspend    %s", im.procRef(a))
+	case OpWaitConst:
+		return fmt.Sprintf("wait_const X%d, %s", a, im.immString(imm))
+	case OpWaitList:
+		return fmt.Sprintf("wait_list  X%d -> X%d, X%d", a, b, c)
+	case OpWaitStruct:
+		return fmt.Sprintf("wait_struct X%d, %s -> X%d..", a, im.immString(imm), b)
+	case OpWaitVar:
+		return fmt.Sprintf("wait_var   X%d", a)
+	case OpMatchEq:
+		return fmt.Sprintf("match_eq   X%d, X%d", a, b)
+	case OpGuardCmp:
+		return fmt.Sprintf("guard      X%d %s X%d", b, cmpName(a), c)
+	case OpGuardType:
+		return fmt.Sprintf("guard      %s(X%d)", typeName(a), b)
+	case OpPutConst:
+		return fmt.Sprintf("put_const  X%d, %s", a, im.immString(imm))
+	case OpPutVar:
+		return fmt.Sprintf("put_var    X%d", a)
+	case OpPutList:
+		return fmt.Sprintf("put_list   X%d = [X%d|X%d]", a, b, c)
+	case OpPutStruct:
+		return fmt.Sprintf("put_struct X%d = %s(X%d..)", a, im.immString(imm), b)
+	case OpMove:
+		return fmt.Sprintf("move       X%d, X%d", a, b)
+	case OpUnify:
+		return fmt.Sprintf("unify      X%d, X%d", a, b)
+	case OpArith:
+		return fmt.Sprintf("arith      X%d = X%d %s X%d", b, c>>8, ArithName(a), c&0xFF)
+	default:
+		return fmt.Sprintf("%v %d %d %d", op, a, b, c)
+	}
+}
+
+func cmpName(kind int) string {
+	return [...]string{"<", ">", "=<", ">=", "=:=", "=\\="}[kind]
+}
+
+func typeName(kind int) string {
+	return [...]string{"integer", "atom", "list"}[kind]
+}

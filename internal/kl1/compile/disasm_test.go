@@ -1,0 +1,61 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleCoversProgram(t *testing.T) {
+	im := mustCompile(t, `
+main :- true | p([1|T], R), q(T), println(R).
+p([H|T], R) :- H > 0, integer(H) | R := H + 1.
+p(X, R) :- otherwise | R = X.
+q(_).
+`)
+	out := im.Disassemble()
+	for _, frag := range []string{
+		"main/0:", "p/2:", "q/1:",
+		"try", "commit", "suspend",
+		"wait_list", "guard      X", "integer(X",
+		"put_list", "exec", "spawn",
+		"println/1", "otherwise",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("disassembly missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestDisassembleRoundTripsAllOffsets(t *testing.T) {
+	// Every word of the image must be covered exactly once by walking
+	// DisasmAt from offset 0 (no overlapping or skipped words).
+	im := mustCompile(t, `
+main :- true | t(f(1, [a, B]), B).
+t(X, Y) :- wait(Y) | Z := Y * 2 - 1, u(X, Z).
+u(_, _).
+`)
+	covered := 0
+	for pc := 0; pc < len(im.Code); {
+		text, size := im.DisasmAt(pc)
+		if text == "" || size < 1 || size > 2 {
+			t.Fatalf("bad instruction at %d: %q size %d", pc, text, size)
+		}
+		covered += size
+		pc += size
+	}
+	if covered != len(im.Code) {
+		t.Errorf("covered %d of %d words", covered, len(im.Code))
+	}
+}
+
+func TestDisasmBuiltinNames(t *testing.T) {
+	im := mustCompile(t, `
+main :- true | gen(S), d(S).
+gen(S) :- true | S = [1].
+d([H|_]) :- true | Y := H * 2, println(Y).
+`)
+	out := im.Disassemble()
+	if !strings.Contains(out, "$arith(*)/3") {
+		t.Errorf("spawned arith builtin not named:\n%s", out)
+	}
+}

@@ -1,0 +1,198 @@
+// Package compile translates parsed FGHC clauses into the abstract
+// instruction set of the simulated KL1 machine (a KL1-B-style encoding).
+// The emitted code image is loaded into the instruction area of the
+// simulated shared memory, so instruction fetches during emulation are
+// real simulated memory references, as in the paper's measurements.
+package compile
+
+import (
+	"fmt"
+
+	"pimcache/internal/kl1/word"
+)
+
+// Op is an abstract-machine opcode.
+type Op uint8
+
+// The instruction set. Passive (head/guard) instructions fail to the
+// current clause's fail label, possibly recording suspension candidates;
+// active (body) instructions construct terms and spawn goals.
+const (
+	OpNop Op = iota
+	// OpTry starts a clause attempt; A<<16|B is the fail address
+	// (absolute instruction-area offset of the next clause or of the
+	// procedure's OpSuspend).
+	OpTry
+	// OpOtherwise commits only when no earlier clause suspended: if
+	// suspension candidates exist, suspend immediately.
+	OpOtherwise
+	// OpCommit marks the commit bar: the clause's body follows.
+	OpCommit
+	// OpProceed ends a reduction with an empty continuation.
+	OpProceed
+	// OpExec tail-calls procedure A with arity B, args at registers C...
+	OpExec
+	// OpSpawn creates a goal record for procedure A, arity B, args at C.
+	OpSpawn
+	// OpSuspend ends a procedure's clause list: suspend the goal (proc A,
+	// arity B, args in X0..) on the recorded candidates, or fail the
+	// program if there are none.
+	OpSuspend
+
+	// OpWaitConst matches register A against the constant in the
+	// following immediate word.
+	OpWaitConst
+	// OpWaitList matches register A against a list cell, loading car into
+	// register B and cdr into register C.
+	OpWaitList
+	// OpWaitStruct matches register A against the functor in the
+	// immediate word, loading the arguments into registers B, B+1, ...
+	OpWaitStruct
+	// OpWaitVar requires register A to be bound (the wait/1 guard).
+	OpWaitVar
+	// OpMatchEq passively unifies registers A and B (nonlinear heads).
+	OpMatchEq
+	// OpGuardCmp compares registers B and C under comparison kind A.
+	OpGuardCmp
+	// OpGuardType tests register B against type kind A.
+	OpGuardType
+
+	// OpPutConst loads the immediate constant into register A.
+	OpPutConst
+	// OpPutVar allocates a fresh unbound heap variable; register A gets a
+	// reference to it.
+	OpPutVar
+	// OpPutList allocates a cons cell from registers B (car) and C (cdr);
+	// register A receives the list pointer.
+	OpPutList
+	// OpPutStruct allocates a structure with the functor in the immediate
+	// word and arguments from registers B, B+1, ...; register A receives
+	// the structure pointer.
+	OpPutStruct
+	// OpMove copies register B to register A.
+	OpMove
+	// OpUnify actively unifies registers A and B; failure fails the
+	// program.
+	OpUnify
+	// OpArith computes kind A over registers (C>>8) and (C&0xff) into
+	// register B. All operands must be bound integers (the compiler only
+	// emits inline arithmetic over known-bound values).
+	OpArith
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	"nop", "try", "otherwise", "commit", "proceed", "exec", "spawn",
+	"suspend", "wait_const", "wait_list", "wait_struct", "wait_var",
+	"match_eq", "guard_cmp", "guard_type", "put_const", "put_var",
+	"put_list", "put_struct", "move", "unify", "arith",
+}
+
+// String names the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// HasImmediate reports whether the opcode is followed by an immediate
+// word.
+func (o Op) HasImmediate() bool {
+	switch o {
+	case OpWaitConst, OpWaitStruct, OpPutConst, OpPutStruct:
+		return true
+	}
+	return false
+}
+
+// Comparison kinds for OpGuardCmp (field A).
+const (
+	CmpLt = iota // <
+	CmpGt        // >
+	CmpLe        // =<
+	CmpGe        // >=
+	CmpEq        // =:=
+	CmpNe        // =\=
+)
+
+// Type-test kinds for OpGuardType (field A).
+const (
+	TypeInteger = iota
+	TypeAtom
+	TypeList
+)
+
+// Arithmetic kinds for OpArith (field A) and the spawned arithmetic
+// builtins.
+const (
+	ArithAdd = iota
+	ArithSub
+	ArithMul
+	ArithDiv
+	ArithMod
+)
+
+// ArithName renders an arithmetic kind.
+func ArithName(kind int) string {
+	return [...]string{"+", "-", "*", "/", "mod"}[kind]
+}
+
+// Builtin procedure indices (values of the proc field at and above
+// BuiltinBase denote builtins rather than user procedures). Builtin goals
+// are spawned like user goals and may suspend on unbound arguments.
+const (
+	// BuiltinBase is the first builtin index.
+	BuiltinBase = 0x8000
+	// BuiltinArith..BuiltinArith+4 are $add/$sub/$mul/$div/$mod with
+	// arguments (X, Y, Dest): Dest is unified with X op Y once both are
+	// bound integers.
+	BuiltinArith = BuiltinBase
+	// BuiltinPrint renders its argument (suspending until bound) to the
+	// machine's output stream.
+	BuiltinPrint = BuiltinBase + 8
+	// BuiltinPrintln is BuiltinPrint plus a newline.
+	BuiltinPrintln = BuiltinBase + 9
+	// BuiltinUnify actively unifies its two arguments.
+	BuiltinUnify = BuiltinBase + 10
+	// BuiltinNewVec is new_vector(N, V): V is unified with a fresh
+	// vector of N unbound elements (KL1's array primitive).
+	BuiltinNewVec = BuiltinBase + 16
+	// BuiltinVecElem is vector_element(V, I, E): E is unified with
+	// element I of vector V (0-based).
+	BuiltinVecElem = BuiltinBase + 17
+	// BuiltinSetVec is set_vector_element(V, I, X, V2): V2 is unified
+	// with a copy of V whose element I is X (functional update, as in
+	// KL1 without the MRB in-place optimization).
+	BuiltinSetVec = BuiltinBase + 18
+)
+
+// IsBuiltin reports whether a proc index denotes a builtin.
+func IsBuiltin(idx int) bool { return idx >= BuiltinBase }
+
+// Encode packs an instruction word. Operand fields are 16 bits each.
+func Encode(op Op, a, b, c int) word.Word {
+	if a < 0 || a > 0xFFFF || b < 0 || b > 0xFFFF || c < 0 || c > 0xFFFF {
+		panic(fmt.Sprintf("compile: operand out of range: %v %d %d %d", op, a, b, c))
+	}
+	return word.Code(uint64(op)<<48 | uint64(a)<<32 | uint64(b)<<16 | uint64(c))
+}
+
+// Decode unpacks an instruction word.
+func Decode(w word.Word) (op Op, a, b, c int) {
+	p := w.Payload()
+	return Op(p >> 48), int(p >> 32 & 0xFFFF), int(p >> 16 & 0xFFFF), int(p & 0xFFFF)
+}
+
+// EncodeGoalHeader packs a goal record's procedure/arity word (word 1 of
+// a goal record).
+func EncodeGoalHeader(procIdx, arity int) word.Word {
+	return word.Code(uint64(procIdx)<<16 | uint64(arity))
+}
+
+// DecodeGoalHeader unpacks a goal record header.
+func DecodeGoalHeader(w word.Word) (procIdx, arity int) {
+	p := w.Payload()
+	return int(p >> 16 & 0xFFFF), int(p & 0xFFFF)
+}

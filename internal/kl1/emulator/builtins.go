@@ -1,0 +1,183 @@
+package emulator
+
+import (
+	"fmt"
+	"strconv"
+
+	"pimcache/internal/kl1/compile"
+	"pimcache/internal/kl1/word"
+)
+
+// execBuiltin runs the pending builtin goal whose arguments are in
+// X0..Xarity-1. Builtins are atomic reductions: on unbound arguments they
+// suspend through the ordinary goal-suspension machinery, and on a lock
+// conflict they leave builtinProc set so the whole builtin retries.
+func (e *Engine) execBuiltin() {
+	proc := e.builtinProc
+	switch {
+	case proc >= compile.BuiltinArith && proc < compile.BuiltinArith+5:
+		e.builtinArith(proc - compile.BuiltinArith)
+	case proc == compile.BuiltinPrint || proc == compile.BuiltinPrintln:
+		e.builtinPrint(proc == compile.BuiltinPrintln)
+	case proc == compile.BuiltinUnify:
+		switch e.unify(e.regs[0], e.regs[1]) {
+		case unifyBlocked:
+			return
+		case unifyFailed:
+			e.sh.fail("unification failed in $unify/2")
+			return
+		}
+		e.finishBuiltin()
+	case proc == compile.BuiltinNewVec:
+		e.builtinNewVec()
+	case proc == compile.BuiltinVecElem:
+		e.builtinVecElem()
+	case proc == compile.BuiltinSetVec:
+		e.builtinSetVec()
+	default:
+		panic(fmt.Sprintf("emulator: unknown builtin %d", proc))
+	}
+}
+
+// finishBuiltin completes the builtin reduction.
+func (e *Engine) finishBuiltin() {
+	e.builtinProc = 0
+	e.stats.Reductions++
+	e.sh.liveGoals--
+}
+
+// suspendBuiltin recreates the builtin goal as a floating record hooked
+// on the given cells.
+func (e *Engine) suspendBuiltin(cells ...word.Addr) {
+	e.candidates = e.candidates[:0]
+	for _, c := range cells {
+		e.addCandidate(c)
+	}
+	e.curProc = e.builtinProc
+	e.curArity = e.builtinArity
+	e.builtinProc = 0
+	e.startSuspend()
+}
+
+// builtinArith implements $arith(X, Y, Dest): wait for X and Y, compute,
+// unify Dest with the result.
+func (e *Engine) builtinArith(kind int) {
+	l, lc := e.deref(e.regs[0])
+	r, rc := e.deref(e.regs[1])
+	if lc != 0 || rc != 0 {
+		var cells []word.Addr
+		if lc != 0 {
+			cells = append(cells, lc)
+		}
+		if rc != 0 {
+			cells = append(cells, rc)
+		}
+		e.suspendBuiltin(cells...)
+		return
+	}
+	if l.Tag() != word.TagInt || r.Tag() != word.TagInt {
+		e.sh.fail(fmt.Sprintf("arithmetic on non-integer in %s", e.procName(compile.BuiltinArith+kind)))
+		return
+	}
+	v, err := evalArith(kind, l.IntVal(), r.IntVal())
+	if err != nil {
+		e.sh.fail(err.Error())
+		return
+	}
+	switch e.unify(e.regs[2], word.Int(v)) {
+	case unifyBlocked:
+		return // retry the whole builtin
+	case unifyFailed:
+		e.sh.fail(fmt.Sprintf("result of %s does not unify", e.procName(compile.BuiltinArith+kind)))
+		return
+	}
+	e.finishBuiltin()
+}
+
+// builtinPrint renders its argument once it is fully ground; otherwise it
+// suspends on the first unbound sub-term found.
+func (e *Engine) builtinPrint(newline bool) {
+	if cell, ground := e.findUnbound(e.regs[0], 0); !ground {
+		e.suspendBuiltin(cell)
+		return
+	}
+	s := e.renderTerm(e.regs[0], 0)
+	e.sh.out.WriteString(s)
+	if newline {
+		e.sh.out.WriteByte('\n')
+	}
+	e.finishBuiltin()
+}
+
+const maxTermDepth = 1 << 20
+
+// findUnbound scans a term for an unbound variable; ground is false and
+// cell names the first one found.
+func (e *Engine) findUnbound(w word.Word, depth int) (cell word.Addr, ground bool) {
+	if depth > maxTermDepth {
+		e.sh.fail("print: term too deep (cyclic?)")
+		return 0, true
+	}
+	v, c := e.deref(w)
+	if c != 0 {
+		return c, false
+	}
+	switch v.Tag() {
+	case word.TagList:
+		if c, g := e.findUnbound(e.loadCell(v.Addr()), depth+1); !g {
+			return c, false
+		}
+		return e.findUnbound(e.loadCell(v.Addr()+1), depth+1)
+	case word.TagStruct:
+		f := e.acc.Read(v.Addr())
+		for i := 0; i < f.FunctorArity(); i++ {
+			if c, g := e.findUnbound(e.loadCell(v.Addr()+1+word.Addr(i)), depth+1); !g {
+				return c, false
+			}
+		}
+	}
+	return 0, true
+}
+
+// renderTerm pretty-prints a ground term in FGHC syntax.
+func (e *Engine) renderTerm(w word.Word, depth int) string {
+	if depth > maxTermDepth {
+		return "..."
+	}
+	v, c := e.deref(w)
+	if c != 0 {
+		return "_"
+	}
+	switch v.Tag() {
+	case word.TagInt:
+		return strconv.FormatInt(v.IntVal(), 10)
+	case word.TagAtom:
+		return e.sh.Image.Atoms.Name(v.AtomVal())
+	case word.TagNil:
+		return "[]"
+	case word.TagList:
+		s := "[" + e.renderTerm(e.loadCell(v.Addr()), depth+1)
+		rest, rc := e.deref(e.loadCell(v.Addr() + 1))
+		for rc == 0 && rest.Tag() == word.TagList {
+			s += "," + e.renderTerm(e.loadCell(rest.Addr()), depth+1)
+			rest, rc = e.deref(e.loadCell(rest.Addr() + 1))
+		}
+		if rc != 0 {
+			s += "|_"
+		} else if rest.Tag() != word.TagNil {
+			s += "|" + e.renderTerm(rest, depth+1)
+		}
+		return s + "]"
+	case word.TagStruct:
+		f := e.acc.Read(v.Addr())
+		s := e.sh.Image.Atoms.Name(f.FunctorName()) + "("
+		for i := 0; i < f.FunctorArity(); i++ {
+			if i > 0 {
+				s += ","
+			}
+			s += e.renderTerm(e.loadCell(v.Addr()+1+word.Addr(i)), depth+1)
+		}
+		return s + ")"
+	}
+	return v.String()
+}

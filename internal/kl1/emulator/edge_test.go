@@ -1,0 +1,256 @@
+package emulator
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVarVarUnificationMergesHooks: two consumers suspend on two
+// different variables, then the variables are unified with each other
+// (merging hook lists), and finally the merged variable is bound — both
+// consumers must wake.
+func TestVarVarUnificationMergesHooks(t *testing.T) {
+	_, res := run(t, `
+main :- true | p(X, A), q(Y, B), link(X, Y), feed(X),
+               done(A, B).
+p(V, A) :- integer(V) | A := V + 1.
+q(V, B) :- integer(V) | B := V + 2.
+link(X, Y) :- true | X = Y.
+feed(X) :- true | X = 10.
+done(A, B) :- wait(A), wait(B) | S := A + B, println(S).
+`, 2)
+	if res.Output != "23\n" { // (10+1) + (10+2)
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+// TestMultiVariableSuspension: a goal suspends on two variables at once
+// and must wake exactly once no matter which is bound first.
+func TestMultiVariableSuspension(t *testing.T) {
+	_, res := run(t, `
+main :- true | both(X, Y, R), bindy(Y), bindx(X), println(R).
+both(X, Y, R) :- X < Y | R = less.
+both(X, Y, R) :- X >= Y | R = notless.
+bindx(X) :- true | X = 1.
+bindy(Y) :- true | Y = 5.
+`, 2)
+	if res.Output != "less\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+// TestChainedSuspensionsOnOneVariable: many goals hooked on the same
+// variable all resume on a single binding.
+func TestChainedSuspensionsOnOneVariable(t *testing.T) {
+	_, res := run(t, `
+main :- true | w(X, A1), w(X, A2), w(X, A3), w(X, A4),
+               bindx(X),
+               s4(A1, A2, A3, A4).
+bindx(X) :- true | X = 7.
+w(X, A) :- integer(X) | A := X * 2.
+s4(A, B, C, D) :- wait(A), wait(B), wait(C), wait(D) |
+    S1 := A + B, S2 := C + D, fin(S1, S2).
+fin(S1, S2) :- wait(S1), wait(S2) | S := S1 + S2, println(S).
+`, 4)
+	if res.Output != "56\n" { // 4 * 14
+		t.Errorf("output %q", res.Output)
+	}
+	// All four w/2 goals suspended and resumed.
+	if res.Emu.Resumptions < 4 {
+		t.Errorf("resumptions %d < 4", res.Emu.Resumptions)
+	}
+}
+
+// TestLockContention: many PEs repeatedly bind cells of a shared
+// structure; the word locks must serialize without deadlock, and every
+// binding must survive.
+func TestLockContention(t *testing.T) {
+	cl, res := run(t, `
+main :- true | mkvars(16, Vs), fill(Vs, 1), check(Vs, 0, S), println(S).
+mkvars(0, Vs) :- true | Vs = [].
+mkvars(N, Vs) :- N > 0 | Vs = [_|T], N1 := N - 1, mkvars(N1, T).
+fill([], _) :- true | true.
+fill([V|T], N) :- true | V = N, N1 := N + 1, fill(T, N1).
+check([], Acc, S) :- true | S = Acc.
+check([V|T], Acc, S) :- integer(V) | A1 := Acc + V, check(T, A1, S).
+`, 8)
+	if res.Output != "136\n" { // 1+..+16
+		t.Errorf("output %q", res.Output)
+	}
+	for i := 0; i < 8; i++ {
+		if cl.Machine.Cache(i).LocksInUse() != 0 {
+			t.Errorf("PE %d leaked locks", i)
+		}
+	}
+}
+
+// TestDeepStructureUnification: active unification of two large nested
+// structures (one built on each side).
+func TestDeepStructureUnification(t *testing.T) {
+	_, res := run(t, `
+main :- true | build(6, A), build(6, B), A = B, probe(A).
+build(0, T) :- true | T = leaf.
+build(N, T) :- N > 0 | N1 := N - 1, T = node(N, L, R), build(N1, L), build(N1, R).
+probe(node(N, _, _)) :- true | println(N).
+`, 2)
+	if res.Output != "6\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+// TestUnificationFailureOnDeepMismatch: structures differing deep inside
+// must fail the program.
+func TestUnificationFailureOnDeepMismatch(t *testing.T) {
+	_, res, err := RunSource(`
+main :- true | X = f(g(h(1)), 2), Y = f(g(h(9)), 2), X = Y.
+`, testMachineConfig(1), DefaultConfig(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || !strings.Contains(res.FailReason, "unification failed") {
+		t.Errorf("result %+v", res)
+	}
+}
+
+// TestPassiveEqualDeep: nonlinear heads compare whole structures without
+// binding.
+func TestPassiveEqualDeep(t *testing.T) {
+	_, res := run(t, `
+main :- true | same(f([1,2],g(3)), f([1,2],g(3)), A),
+               same(f([1,2],g(3)), f([1,2],g(4)), B),
+               println(A), println(B).
+same(X, X, R) :- true | R = yes.
+same(_, _, R) :- otherwise | R = no.
+`, 1)
+	if res.Output != "yes\nno\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+// TestPassiveEqualSuspendsOnVars: comparing a bound against an unbound
+// component suspends rather than failing, and resumes correctly.
+func TestPassiveEqualSuspendsOnVars(t *testing.T) {
+	_, res := run(t, `
+main :- true | same(f(X), f(1), A), bind(X), println(A).
+same(Y, Y, R) :- true | R = eq.
+same(_, _, R) :- otherwise | R = ne.
+bind(X) :- true | X = 1.
+`, 2)
+	if res.Output != "eq\n" {
+		t.Errorf("output %q", res.Output)
+	}
+	if res.Emu.Suspensions == 0 {
+		t.Error("expected the nonlinear match to suspend")
+	}
+}
+
+// TestPrintSuspendsUntilGround: println of a partially built list waits
+// for the producer to finish.
+func TestPrintSuspendsUntilGround(t *testing.T) {
+	_, res := run(t, `
+main :- true | println(L), gen(3, L).
+gen(0, L) :- true | L = [].
+gen(N, L) :- N > 0 | L = [N|T], N1 := N - 1, gen(N1, T).
+`, 2)
+	if res.Output != "[3,2,1]\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+// TestSchedulerSpreadsWork: with enough independent goals, every PE
+// executes some reductions.
+func TestSchedulerSpreadsWork(t *testing.T) {
+	cl, res := run(t, `
+main :- true | spawn(40, 0, T), println(T).
+spawn(0, Acc, T) :- true | T = Acc.
+spawn(N, Acc, T) :- N > 0 |
+    work(N, W), join(W, Acc, A1), N1 := N - 1, spawn(N1, A1, T).
+work(N, W) :- true | mk(N, L), sum(L, 0, W).
+join(W, Acc, A1) :- wait(W), integer(Acc) | A1 := Acc + W.
+mk(0, L) :- true | L = [].
+mk(N, L) :- N > 0 | L = [N|T], N1 := N - 1, mk(N1, T).
+sum([], A, S) :- true | S = A.
+sum([H|T], A, S) :- true | A1 := A + H, sum(T, A1, S).
+`, 4)
+	if res.Output != "11480\n" { // sum over N=1..40 of N(N+1)/2
+		t.Fatalf("output %q", res.Output)
+	}
+	busyPEs := 0
+	for _, st := range res.PerPE {
+		if st.Reductions > 0 {
+			busyPEs++
+		}
+	}
+	if busyPEs < 3 {
+		t.Errorf("only %d of 4 PEs did work", busyPEs)
+	}
+	_ = cl
+}
+
+// TestDeepTailRecursion: an EXEC chain hundreds of thousands of
+// reductions long must run in constant goal-area space.
+func TestDeepTailRecursion(t *testing.T) {
+	cl, res := run(t, `
+main :- true | count(30000, R), println(R).
+count(0, R) :- true | R = done.
+count(N, R) :- N > 0 | N1 := N - 1, count(N1, R).
+`, 1)
+	if res.Output != "done\n" {
+		t.Errorf("output %q", res.Output)
+	}
+	_ = cl
+}
+
+// TestGuardTypeTests exercises integer/1, atom/1 and list/1.
+func TestGuardTypeTests(t *testing.T) {
+	_, res := run(t, `
+main :- true | k(5, A), k(foo, B), k([1], C), k([], D),
+               println(A), println(B), println(C), println(D).
+k(X, R) :- integer(X) | R = int.
+k(X, R) :- atom(X) | R = atm.
+k(X, R) :- list(X) | R = lst.
+`, 1)
+	if res.Output != "int\natm\nlst\nlst\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+// TestArithmeticOperators covers every operator and division semantics.
+func TestArithmeticOperators(t *testing.T) {
+	_, res := run(t, `
+main :- true | A := 7 + 5, B := 7 - 5, C := 7 * 5, D := 7 / 5, E := 7 mod 5,
+               F := (0 - 7) / 2,
+               println(A), println(B), println(C), println(D), println(E), println(F).
+`, 1)
+	if res.Output != "12\n2\n35\n1\n2\n-3\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+// TestDivisionByZeroFails reports a clean program failure.
+func TestDivisionByZeroFails(t *testing.T) {
+	_, res, err := RunSource("main :- true | X := 1 / 0, println(X).",
+		testMachineConfig(1), DefaultConfig(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || !strings.Contains(res.FailReason, "division by zero") {
+		t.Errorf("result %+v", res)
+	}
+}
+
+// TestSuspendedArithDivisionByZero: the spawned $arith builtin hits the
+// zero after suspension.
+func TestSuspendedArithDivisionByZero(t *testing.T) {
+	_, res, err := RunSource(`
+main :- true | gen(D), use(D).
+gen(D) :- true | D = 0.
+use(D) :- true | X := 10 / D, println(X).
+`, testMachineConfig(2), DefaultConfig(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed {
+		t.Errorf("result %+v", res)
+	}
+}

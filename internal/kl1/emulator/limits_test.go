@@ -1,0 +1,74 @@
+package emulator
+
+import (
+	"strings"
+	"testing"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/machine"
+	"pimcache/internal/mem"
+)
+
+// tinyAreaConfig shrinks one record area to force exhaustion.
+func tinyAreaConfig(goalWords, suspWords int) machine.Config {
+	return machine.Config{
+		PEs: 1,
+		Layout: mem.Layout{InstWords: 16 << 10, HeapWords: 64 << 10,
+			GoalWords: goalWords, SuspWords: suspWords, CommWords: 4 << 10},
+		Cache: cache.Config{SizeWords: 1 << 10, BlockWords: 4, Ways: 4,
+			LockEntries: 4, Options: cache.OptionsAll()},
+		Timing: bus.DefaultTiming(),
+	}
+}
+
+func TestGoalAreaExhaustion(t *testing.T) {
+	// Spawning faster than consuming: a wide fan-out overflows a tiny
+	// goal area and must fail cleanly.
+	src := `
+main :- true | fan(200, R), println(R).
+fan(0, R) :- true | R = 0.
+fan(N, R) :- N > 0 | N1 := N - 1, fan(N1, R1), bump(R1, R).
+bump(R1, R) :- wait(R1) | R := R1 + 1.
+`
+	_, res, err := RunSource(src, tinyAreaConfig(256, 16<<10), DefaultConfig(), 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || !strings.Contains(res.FailReason, "goal area exhausted") {
+		t.Errorf("result %+v", res)
+	}
+}
+
+func TestSuspensionAreaExhaustion(t *testing.T) {
+	// Hundreds of goals suspended on one never-bound variable overflow a
+	// tiny suspension area.
+	src := `
+main :- true | hang(300, X).
+hang(0, _) :- true | true.
+hang(N, X) :- N > 0 | wait1(X), N1 := N - 1, hang(N1, X).
+wait1(X) :- integer(X) | true.
+`
+	_, res, err := RunSource(src, tinyAreaConfig(64<<10, 64), DefaultConfig(), 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || !strings.Contains(res.FailReason, "suspension area exhausted") {
+		t.Errorf("result %+v", res)
+	}
+}
+
+func TestInstructionLimit(t *testing.T) {
+	ecfg := DefaultConfig()
+	ecfg.MaxInstr = 5000
+	_, res, err := RunSource(`
+main :- true | spin(0).
+spin(N) :- N >= 0 | N1 := N + 1, spin(N1).
+`, tinyAreaConfig(64<<10, 16<<10), ecfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || !strings.Contains(res.FailReason, "instruction limit") {
+		t.Errorf("result %+v", res)
+	}
+}

@@ -1,0 +1,165 @@
+package emulator
+
+import (
+	"fmt"
+
+	"pimcache/internal/kl1/word"
+)
+
+// KL1 vectors: the language's array primitive, represented as ordinary
+// heap structures with the reserved functor "vector"/N so that
+// unification, printing and the garbage collector handle them without
+// special cases. Elements are references to standalone variable cells
+// (preserving the no-interior-pointer invariant the collector relies on).
+//
+// set_vector_element is a functional update — a full copy with one
+// element replaced — matching KL1 semantics without the MRB in-place
+// optimization; the copy's direct writes are exactly the fresh-structure
+// traffic the DW command exists for.
+
+// vectorAtom returns the interned functor name for vectors.
+func (sh *Shared) vectorAtom() word.AtomID {
+	return sh.Image.Atoms.Intern("vector")
+}
+
+// builtinNewVec implements new_vector(N, V).
+func (e *Engine) builtinNewVec() {
+	n, nc := e.deref(e.regs[0])
+	if nc != 0 {
+		e.suspendBuiltin(nc)
+		return
+	}
+	if n.Tag() != word.TagInt || n.IntVal() < 0 || n.IntVal() > 0xFFFF {
+		e.sh.fail(fmt.Sprintf("new_vector: bad size %v", n))
+		return
+	}
+	size := int(n.IntVal())
+	// One allocation for the vector and its element variable cells: a
+	// collection inside a multi-allocation sequence would move or reclaim
+	// partially built objects held only in locals.
+	base, ok := e.allocHeap(1 + 2*size)
+	if !ok {
+		return
+	}
+	cells := base + 1 + word.Addr(size)
+	e.acc.DirectWrite(base, word.Functor(e.sh.vectorAtom(), size))
+	for i := 0; i < size; i++ {
+		cell := cells + word.Addr(i)
+		e.acc.DirectWrite(base+1+word.Addr(i), word.Ref(cell))
+	}
+	for i := 0; i < size; i++ {
+		cell := cells + word.Addr(i)
+		e.acc.DirectWrite(cell, word.Unbound(cell))
+	}
+	switch e.unify(e.regs[1], word.Struct(base)) {
+	case unifyBlocked:
+		return // retry the whole builtin; the garbage vector is collectable
+	case unifyFailed:
+		e.sh.fail("new_vector: result does not unify")
+		return
+	}
+	e.finishBuiltin()
+}
+
+// vectorOf dereferences a register to a vector, reporting (base, size).
+// ok=false means the builtin suspended or failed.
+func (e *Engine) vectorOf(w word.Word, who string) (base word.Addr, size int, ok bool) {
+	v, cell := e.deref(w)
+	if cell != 0 {
+		e.suspendBuiltin(cell)
+		return 0, 0, false
+	}
+	if v.Tag() != word.TagStruct {
+		e.sh.fail(fmt.Sprintf("%s: not a vector: %v", who, v))
+		return 0, 0, false
+	}
+	f := e.acc.Read(v.Addr())
+	if f.FunctorName() != e.sh.vectorAtom() {
+		e.sh.fail(fmt.Sprintf("%s: not a vector", who))
+		return 0, 0, false
+	}
+	return v.Addr(), f.FunctorArity(), true
+}
+
+// intArg dereferences an integer argument, suspending on unbound.
+func (e *Engine) intArg(w word.Word, who string) (int64, bool) {
+	v, cell := e.deref(w)
+	if cell != 0 {
+		e.suspendBuiltin(cell)
+		return 0, false
+	}
+	if v.Tag() != word.TagInt {
+		e.sh.fail(fmt.Sprintf("%s: index is not an integer: %v", who, v))
+		return 0, false
+	}
+	return v.IntVal(), true
+}
+
+// builtinVecElem implements vector_element(V, I, E).
+func (e *Engine) builtinVecElem() {
+	base, size, ok := e.vectorOf(e.regs[0], "vector_element")
+	if !ok {
+		return
+	}
+	idx, ok := e.intArg(e.regs[1], "vector_element")
+	if !ok {
+		return
+	}
+	if idx < 0 || idx >= int64(size) {
+		e.sh.fail(fmt.Sprintf("vector_element: index %d out of range [0,%d)", idx, size))
+		return
+	}
+	elem := e.loadCell(base + 1 + word.Addr(idx))
+	switch e.unify(e.regs[2], elem) {
+	case unifyBlocked:
+		return
+	case unifyFailed:
+		e.sh.fail("vector_element: element does not unify")
+		return
+	}
+	e.finishBuiltin()
+}
+
+// builtinSetVec implements set_vector_element(V, I, X, V2).
+func (e *Engine) builtinSetVec() {
+	base, size, ok := e.vectorOf(e.regs[0], "set_vector_element")
+	if !ok {
+		return
+	}
+	idx, ok := e.intArg(e.regs[1], "set_vector_element")
+	if !ok {
+		return
+	}
+	if idx < 0 || idx >= int64(size) {
+		e.sh.fail(fmt.Sprintf("set_vector_element: index %d out of range [0,%d)", idx, size))
+		return
+	}
+	nbase, okAlloc := e.allocHeap(1 + size)
+	if !okAlloc {
+		return
+	}
+	// The allocation may have run the collector and moved the source
+	// vector: re-derive its base from the (forwarded) register.
+	base, size, ok = e.vectorOf(e.regs[0], "set_vector_element")
+	if !ok {
+		return
+	}
+	e.acc.DirectWrite(nbase, word.Functor(e.sh.vectorAtom(), size))
+	for i := 0; i < size; i++ {
+		var w word.Word
+		if int64(i) == idx {
+			w = e.regs[2]
+		} else {
+			w = e.loadCell(base + 1 + word.Addr(i))
+		}
+		e.acc.DirectWrite(nbase+1+word.Addr(i), w)
+	}
+	switch e.unify(e.regs[3], word.Struct(nbase)) {
+	case unifyBlocked:
+		return
+	case unifyFailed:
+		e.sh.fail("set_vector_element: result does not unify")
+		return
+	}
+	e.finishBuiltin()
+}

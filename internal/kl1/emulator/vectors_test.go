@@ -1,0 +1,154 @@
+package emulator
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVectorCreateReadWrite(t *testing.T) {
+	_, res := run(t, `
+main :- true | new_vector(3, V),
+               set_vector_element(V, 0, 10, V1),
+               set_vector_element(V1, 2, 30, V2),
+               vector_element(V2, 0, A), vector_element(V2, 2, C),
+               sum(A, C).
+sum(A, C) :- wait(A), wait(C) | S := A + C, println(S).
+`, 1)
+	if res.Output != "40\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+func TestVectorElementsAreLogicVariables(t *testing.T) {
+	// Fresh vector elements are unbound variables: binding one through
+	// vector_element wakes a consumer suspended on it.
+	_, res := run(t, `
+main :- true | new_vector(2, V),
+               vector_element(V, 1, X),
+               usefn(X),
+               vector_element(V, 1, Y), bindit(Y).
+usefn(X) :- integer(X) | Z := X * 7, println(Z).
+bindit(Y) :- true | Y = 6.
+`, 2)
+	if res.Output != "42\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+func TestVectorFunctionalUpdateSharing(t *testing.T) {
+	// A functional update must not disturb the original vector.
+	_, res := run(t, `
+main :- true | new_vector(2, V),
+               vector_element(V, 0, E0), E0 = 1,
+               vector_element(V, 1, E1), E1 = 2,
+               set_vector_element(V, 0, 99, W),
+               vector_element(V, 0, A),
+               vector_element(W, 0, B),
+               vector_element(W, 1, C),
+               p3(A, B, C).
+p3(A, B, C) :- integer(A), integer(B), integer(C) |
+    println(A), println(B), println(C).
+`, 1)
+	if res.Output != "1\n99\n2\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+func TestVectorSuspendsOnUnboundVectorAndIndex(t *testing.T) {
+	_, res := run(t, `
+main :- true | vector_element(V, I, E), show(E),
+               mkv(V), mki(I).
+mkv(V) :- true | new_vector(4, W), set_vector_element(W, 3, 77, W1), V = W1.
+mki(I) :- true | I = 3.
+show(E) :- integer(E) | println(E).
+`, 2)
+	if res.Output != "77\n" {
+		t.Errorf("output %q", res.Output)
+	}
+	if res.Emu.Suspensions == 0 {
+		t.Error("expected suspensions on the unbound vector/index")
+	}
+}
+
+func TestVectorIndexOutOfRangeFails(t *testing.T) {
+	_, res, err := RunSource(`
+main :- true | new_vector(2, V), vector_element(V, 5, _).
+`, testMachineConfig(1), DefaultConfig(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || !strings.Contains(res.FailReason, "out of range") {
+		t.Errorf("result %+v", res)
+	}
+}
+
+func TestVectorOnNonVectorFails(t *testing.T) {
+	_, res, err := RunSource(`
+main :- true | vector_element(f(1), 0, _).
+`, testMachineConfig(1), DefaultConfig(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || !strings.Contains(res.FailReason, "not a vector") {
+		t.Errorf("result %+v", res)
+	}
+}
+
+func TestVectorPrintRendering(t *testing.T) {
+	_, res := run(t, `
+main :- true | new_vector(2, V),
+               vector_element(V, 0, A), A = 1,
+               vector_element(V, 1, B), B = two,
+               println(V).
+`, 1)
+	if res.Output != "vector(1,two)\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+func TestVectorSurvivesGC(t *testing.T) {
+	// A vector stays intact across collections triggered by churn.
+	ecfg := DefaultConfig()
+	ecfg.EnableGC = true
+	cl, res, err := RunSource(`
+main :- true | new_vector(3, V), fill(V, 0), churn(40, D), fin(D, V).
+fill(V, 3) :- true | true.
+fill(V, I) :- I < 3 | vector_element(V, I, E), E = I, I1 := I + 1, fill(V, I1).
+churn(0, D) :- true | D = done.
+churn(N, D) :- N > 0 | mk(30, L), last(L, X), step(X, N, D).
+step(X, N, D) :- wait(X) | N1 := N - 1, churn(N1, D).
+mk(0, L) :- true | L = [0].
+mk(N, L) :- N > 0 | L = [N|T], N1 := N - 1, mk(N1, T).
+last([X], R) :- true | R = X.
+last([_|T], R) :- true | last(T, R).
+fin(done, V) :- true | println(V).
+`, gcMachineConfig(1, 2048), ecfg, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("failed: %s", res.FailReason)
+	}
+	if res.Output != "vector(0,1,2)\n" {
+		t.Errorf("output %q", res.Output)
+	}
+	if cl.Shared.GCStats().Collections == 0 {
+		t.Error("collector never ran")
+	}
+}
+
+func TestVectorCrossPE(t *testing.T) {
+	// A vector created on one PE, updated on others via migrated goals.
+	_, res := run(t, `
+main :- true | new_vector(4, V), wr(V, 0, W0), wr(W0, 1, W1), wr(W1, 2, W2), wr(W2, 3, W3),
+               total(W3, 0, 0, S), println(S).
+wr(V, I, W) :- true | X := I * I, set_vector_element(V, I, X, W).
+total(V, I, Acc, S) :- I >= 4 | S = Acc.
+total(V, I, Acc, S) :- I < 4 |
+    vector_element(V, I, E), add(E, Acc, A1), I1 := I + 1, total(V, I1, A1, S).
+add(E, Acc, A1) :- integer(E), integer(Acc) | A1 := E + Acc.
+`, 4)
+	if res.Output != "14\n" { // 0+1+4+9
+		t.Errorf("output %q", res.Output)
+	}
+}

@@ -1,0 +1,247 @@
+// Package parser implements a lexer and parser for Flat Guarded Horn
+// Clauses (FGHC), the base language of KL1. A program is a set of
+// procedures, each a list of clauses of the form
+//
+//	Head :- Guard1, ..., Guardm | Body1, ..., Bodyn.
+//
+// The guard part is restricted to builtin tests (arithmetic comparison,
+// type tests, wait/1, otherwise), as FGHC requires; the body may contain
+// user goals, active unification (=), and arithmetic assignment (:=).
+package parser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is a parsed FGHC term.
+type Term interface {
+	String() string
+	isTerm()
+}
+
+// Var is a logic variable. Anonymous variables ("_") get unique names of
+// the form "_Gn" during parsing.
+type Var struct{ Name string }
+
+// Int is an integer constant.
+type Int struct{ Value int64 }
+
+// Atom is a symbolic constant.
+type Atom struct{ Name string }
+
+// NilList is the empty list [].
+type NilList struct{}
+
+// Cons is a list cell [Car|Cdr].
+type Cons struct{ Car, Cdr Term }
+
+// Struct is a compound term Functor(Args...).
+type Struct struct {
+	Functor string
+	Args    []Term
+}
+
+func (Var) isTerm()     {}
+func (Int) isTerm()     {}
+func (Atom) isTerm()    {}
+func (NilList) isTerm() {}
+func (Cons) isTerm()    {}
+func (Struct) isTerm()  {}
+
+func (v Var) String() string  { return v.Name }
+func (i Int) String() string  { return fmt.Sprintf("%d", i.Value) }
+func (a Atom) String() string { return a.Name }
+func (NilList) String() string {
+	return "[]"
+}
+
+func (c Cons) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	b.WriteString(c.Car.String())
+	rest := c.Cdr
+	for {
+		switch t := rest.(type) {
+		case Cons:
+			b.WriteByte(',')
+			b.WriteString(t.Car.String())
+			rest = t.Cdr
+			continue
+		case NilList:
+			b.WriteByte(']')
+			return b.String()
+		default:
+			b.WriteByte('|')
+			b.WriteString(rest.String())
+			b.WriteByte(']')
+			return b.String()
+		}
+	}
+}
+
+func (s Struct) String() string {
+	args := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		args[i] = a.String()
+	}
+	return s.Functor + "(" + strings.Join(args, ",") + ")"
+}
+
+// Expr is an arithmetic expression (the right-hand side of :=).
+type Expr interface {
+	String() string
+	isExpr()
+}
+
+// ExprInt is an integer literal.
+type ExprInt struct{ Value int64 }
+
+// ExprVar references a variable whose value must be an integer.
+type ExprVar struct{ Name string }
+
+// ExprBin is a binary arithmetic operation: + - * / mod.
+type ExprBin struct {
+	Op   string
+	L, R Expr
+}
+
+func (ExprInt) isExpr() {}
+func (ExprVar) isExpr() {}
+func (ExprBin) isExpr() {}
+
+func (e ExprInt) String() string { return fmt.Sprintf("%d", e.Value) }
+func (e ExprVar) String() string { return e.Name }
+func (e ExprBin) String() string {
+	return "(" + e.L.String() + e.Op + e.R.String() + ")"
+}
+
+// Guard is one passive test in a clause's guard part.
+type Guard struct {
+	// Kind is one of: "true", "otherwise", "wait", "integer", "atom",
+	// "list", or a comparison operator (<, >, =<, >=, =:=, =\=).
+	Kind string
+	// Args holds the operand terms (0 for true/otherwise, 1 for type
+	// tests and wait, 2 for comparisons).
+	Args []Term
+}
+
+func (g Guard) String() string {
+	switch len(g.Args) {
+	case 0:
+		return g.Kind
+	case 1:
+		return g.Kind + "(" + g.Args[0].String() + ")"
+	default:
+		return g.Args[0].String() + g.Kind + g.Args[1].String()
+	}
+}
+
+// BodyGoal is one goal in a clause's body.
+type BodyGoal struct {
+	// Kind is "call" (user goal), "unify" (=), "assign" (:=), or
+	// "builtin" (print and friends).
+	Kind string
+	// Name is the procedure or builtin name for call/builtin kinds.
+	Name string
+	// Args holds call/builtin argument terms; for unify the two sides;
+	// for assign the destination term (Args[0]).
+	Args []Term
+	// Expr is the arithmetic expression for assign.
+	Expr Expr
+}
+
+func (b BodyGoal) String() string {
+	switch b.Kind {
+	case "unify":
+		return b.Args[0].String() + "=" + b.Args[1].String()
+	case "assign":
+		return b.Args[0].String() + ":=" + b.Expr.String()
+	case "cmp":
+		return b.Args[0].String() + b.Name + b.Args[1].String()
+	default:
+		if len(b.Args) == 0 {
+			return b.Name
+		}
+		args := make([]string, len(b.Args))
+		for i, a := range b.Args {
+			args[i] = a.String()
+		}
+		return b.Name + "(" + strings.Join(args, ",") + ")"
+	}
+}
+
+// Clause is one guarded Horn clause.
+type Clause struct {
+	Head   Struct // zero-arity heads are Structs with empty Args
+	Guards []Guard
+	Body   []BodyGoal
+	Line   int
+}
+
+func (c Clause) String() string {
+	var b strings.Builder
+	if len(c.Head.Args) == 0 {
+		b.WriteString(c.Head.Functor)
+	} else {
+		b.WriteString(c.Head.String())
+	}
+	b.WriteString(" :- ")
+	if len(c.Guards) == 0 {
+		b.WriteString("true")
+	} else {
+		gs := make([]string, len(c.Guards))
+		for i, g := range c.Guards {
+			gs[i] = g.String()
+		}
+		b.WriteString(strings.Join(gs, ","))
+	}
+	b.WriteString(" | ")
+	if len(c.Body) == 0 {
+		b.WriteString("true")
+	} else {
+		bs := make([]string, len(c.Body))
+		for i, g := range c.Body {
+			bs[i] = g.String()
+		}
+		b.WriteString(strings.Join(bs, ","))
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// Program is a parsed FGHC program: procedures keyed by name/arity in
+// source order.
+type Program struct {
+	Procedures []*Procedure
+	byKey      map[string]*Procedure
+}
+
+// Procedure groups the clauses sharing one name/arity.
+type Procedure struct {
+	Name   string
+	Arity  int
+	Clause []*Clause
+}
+
+// Key renders the conventional name/arity form.
+func (p *Procedure) Key() string { return fmt.Sprintf("%s/%d", p.Name, p.Arity) }
+
+// Lookup finds a procedure by name and arity.
+func (p *Program) Lookup(name string, arity int) *Procedure {
+	return p.byKey[fmt.Sprintf("%s/%d", name, arity)]
+}
+
+func (p *Program) addClause(c *Clause) {
+	key := fmt.Sprintf("%s/%d", c.Head.Functor, len(c.Head.Args))
+	if p.byKey == nil {
+		p.byKey = make(map[string]*Procedure)
+	}
+	proc := p.byKey[key]
+	if proc == nil {
+		proc = &Procedure{Name: c.Head.Functor, Arity: len(c.Head.Args)}
+		p.byKey[key] = proc
+		p.Procedures = append(p.Procedures, proc)
+	}
+	proc.Clause = append(proc.Clause, c)
+}

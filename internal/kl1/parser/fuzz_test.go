@@ -1,0 +1,42 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that anything it accepts
+// re-renders to a parseable fixpoint. Seeds cover every syntactic form;
+// `go test` runs the seeds, `go test -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"main.",
+		"p(X) :- X > 0 | q(X).",
+		"p([H|T], f(A, -3)) :- integer(H) | Y := H * 2 + A, r(Y, T).",
+		"p(X, X) :- otherwise | true.",
+		"s([P|Q], O) :- wait(P) | O = [P|O1], s(Q, O1).",
+		"p :- true | X = [a,b|C], println(X).",
+		"p( :-",
+		"p(1)) .",
+		"p :- q | r | s.",
+		"% only a comment",
+		"p(" + strings.Repeat("[", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil || prog == nil || len(prog.Procedures) == 0 {
+			return
+		}
+		for _, proc := range prog.Procedures {
+			for _, c := range proc.Clause {
+				rendered := c.String()
+				if _, err := Parse(rendered); err != nil {
+					t.Fatalf("accepted %q but rendered form %q fails: %v", src, rendered, err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokAtom
+	tokVar
+	tokInt
+	tokPunct // ( ) [ ] , | .
+	tokOp    // :- := = =:= =\= =< >= < > + - * / mod
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokInt:
+		return fmt.Sprintf("%d", t.ival)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenizes FGHC source.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) at(i int) rune {
+	if l.pos+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+i]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+	}
+	return r
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		if r == '%' { // comment to end of line
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		if unicode.IsSpace(r) {
+			l.advance()
+			continue
+		}
+		return
+	}
+}
+
+func isAtomStart(r rune) bool { return unicode.IsLower(r) }
+func isVarStart(r rune) bool  { return unicode.IsUpper(r) || r == '_' }
+func isNameRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	line := l.line
+	r := l.peek()
+	switch {
+	case unicode.IsDigit(r):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		v, err := strconv.ParseInt(string(l.src[start:l.pos]), 10, 64)
+		if err != nil {
+			return token{}, fmt.Errorf("line %d: bad integer: %v", line, err)
+		}
+		return token{kind: tokInt, ival: v, line: line}, nil
+	case isAtomStart(r):
+		start := l.pos
+		for l.pos < len(l.src) && isNameRune(l.peek()) {
+			l.advance()
+		}
+		name := string(l.src[start:l.pos])
+		if name == "mod" {
+			return token{kind: tokOp, text: "mod", line: line}, nil
+		}
+		return token{kind: tokAtom, text: name, line: line}, nil
+	case isVarStart(r):
+		start := l.pos
+		for l.pos < len(l.src) && isNameRune(l.peek()) {
+			l.advance()
+		}
+		return token{kind: tokVar, text: string(l.src[start:l.pos]), line: line}, nil
+	}
+	// Multi-character operators, longest first.
+	ops := []string{":-", ":=", "=:=", "=\\=", "=<", ">=", "=..", "<", ">", "=", "+", "-", "*", "/"}
+	// Note: "=:=" and "=\\=" start with "=", so check three-char ops first.
+	for _, op := range []string{"=:=", "=\\=", ":-", ":=", "=<", ">="} {
+		if l.matches(op) {
+			for range op {
+				l.advance()
+			}
+			return token{kind: tokOp, text: op, line: line}, nil
+		}
+	}
+	for _, op := range ops {
+		if len(op) == 1 && l.matches(op) {
+			l.advance()
+			return token{kind: tokOp, text: op, line: line}, nil
+		}
+	}
+	switch r {
+	case '(', ')', '[', ']', ',', '|', '.':
+		l.advance()
+		return token{kind: tokPunct, text: string(r), line: line}, nil
+	}
+	return token{}, fmt.Errorf("line %d: unexpected character %q", line, r)
+}
+
+func (l *lexer) matches(s string) bool {
+	for i, r := range s {
+		if l.at(i) != r {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,427 @@
+package parser
+
+import (
+	"fmt"
+)
+
+// Parse parses an FGHC source text into a Program.
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.kind != tokEOF {
+		c, err := p.clause()
+		if err != nil {
+			return nil, err
+		}
+		prog.addClause(c)
+	}
+	return prog, nil
+}
+
+// MustParse parses or panics; for tests and embedded benchmark sources.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	lex    *lexer
+	tok    token
+	anonID int
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tokPunct || p.tok.text != s {
+		return p.errorf("expected %q, found %v", s, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) isPunct(s string) bool {
+	return p.tok.kind == tokPunct && p.tok.text == s
+}
+
+func (p *parser) isOp(s string) bool {
+	return p.tok.kind == tokOp && p.tok.text == s
+}
+
+// clause := head [":-" items ["|" items]] "."
+func (p *parser) clause() (*Clause, error) {
+	line := p.tok.line
+	head, err := p.head()
+	if err != nil {
+		return nil, err
+	}
+	c := &Clause{Head: head, Line: line}
+	if p.isOp(":-") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Parse the pre-commit part; if a top-level "|" follows, it was
+		// the guard, else it was the body with an implicit true guard.
+		first, sawBar, err := p.items()
+		if err != nil {
+			return nil, err
+		}
+		if sawBar {
+			for _, it := range first {
+				g, err := itemToGuard(it)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", line, err)
+				}
+				if g.Kind != "true" {
+					c.Guards = append(c.Guards, g)
+				}
+			}
+			body, bar2, err := p.items()
+			if err != nil {
+				return nil, err
+			}
+			if bar2 {
+				return nil, p.errorf("more than one commit bar in clause")
+			}
+			c.Body = filterTrue(body)
+		} else {
+			c.Body = filterTrue(first)
+		}
+	}
+	if err := p.expectPunct("."); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func filterTrue(items []BodyGoal) []BodyGoal {
+	out := items[:0]
+	for _, it := range items {
+		if it.Kind == "call" && it.Name == "true" && len(it.Args) == 0 {
+			continue
+		}
+		out = append(out, it)
+	}
+	return out
+}
+
+// itemToGuard reinterprets a parsed body item as a guard.
+func itemToGuard(it BodyGoal) (Guard, error) {
+	switch it.Kind {
+	case "cmp":
+		return Guard{Kind: it.Name, Args: it.Args}, nil
+	case "call":
+		switch it.Name {
+		case "true", "otherwise":
+			if len(it.Args) != 0 {
+				return Guard{}, fmt.Errorf("%s/0 takes no arguments", it.Name)
+			}
+			return Guard{Kind: it.Name}, nil
+		case "wait", "integer", "atom", "list", "unbound":
+			if len(it.Args) != 1 {
+				return Guard{}, fmt.Errorf("%s expects one argument", it.Name)
+			}
+			return Guard{Kind: it.Name, Args: it.Args}, nil
+		}
+		return Guard{}, fmt.Errorf("goal %q is not a legal FGHC guard", it.Name)
+	default:
+		return Guard{}, fmt.Errorf("%s is not a legal FGHC guard", it.Kind)
+	}
+}
+
+// head := atom ["(" term {"," term} ")"]
+func (p *parser) head() (Struct, error) {
+	if p.tok.kind != tokAtom {
+		return Struct{}, p.errorf("expected clause head, found %v", p.tok)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return Struct{}, err
+	}
+	s := Struct{Functor: name}
+	if p.isPunct("(") {
+		args, err := p.argList()
+		if err != nil {
+			return Struct{}, err
+		}
+		s.Args = args
+	}
+	return s, nil
+}
+
+// items parses a comma-separated list of goals, stopping at "." or a
+// top-level "|" (sawBar reports which).
+func (p *parser) items() (items []BodyGoal, sawBar bool, err error) {
+	for {
+		it, err := p.item()
+		if err != nil {
+			return nil, false, err
+		}
+		items = append(items, it)
+		switch {
+		case p.isPunct(","):
+			if err := p.advance(); err != nil {
+				return nil, false, err
+			}
+		case p.isPunct("|"):
+			return items, true, p.advance()
+		case p.isPunct("."):
+			return items, false, nil
+		default:
+			return nil, false, p.errorf("expected ',', '|' or '.', found %v", p.tok)
+		}
+	}
+}
+
+var comparisons = map[string]bool{
+	"<": true, ">": true, "=<": true, ">=": true, "=:=": true, "=\\=": true,
+}
+
+// item parses one goal: a call, T1 = T2, V := Expr, or E1 cmp E2.
+func (p *parser) item() (BodyGoal, error) {
+	lhs, err := p.term()
+	if err != nil {
+		return BodyGoal{}, err
+	}
+	switch {
+	case p.isOp("="):
+		if err := p.advance(); err != nil {
+			return BodyGoal{}, err
+		}
+		rhs, err := p.term()
+		if err != nil {
+			return BodyGoal{}, err
+		}
+		return BodyGoal{Kind: "unify", Args: []Term{lhs, rhs}}, nil
+	case p.isOp(":="):
+		if err := p.advance(); err != nil {
+			return BodyGoal{}, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return BodyGoal{}, err
+		}
+		return BodyGoal{Kind: "assign", Args: []Term{lhs}, Expr: e}, nil
+	case p.tok.kind == tokOp && comparisons[p.tok.text]:
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return BodyGoal{}, err
+		}
+		rhs, err := p.term()
+		if err != nil {
+			return BodyGoal{}, err
+		}
+		return BodyGoal{Kind: "cmp", Name: op, Args: []Term{lhs, rhs}}, nil
+	}
+	switch t := lhs.(type) {
+	case Atom:
+		return BodyGoal{Kind: "call", Name: t.Name}, nil
+	case Struct:
+		return BodyGoal{Kind: "call", Name: t.Functor, Args: t.Args}, nil
+	default:
+		return BodyGoal{}, p.errorf("term %s is not a goal", lhs)
+	}
+}
+
+// argList := "(" term {"," term} ")"
+func (p *parser) argList() ([]Term, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []Term
+	for {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, t)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	return args, p.expectPunct(")")
+}
+
+// term := var | int | -int | atom[(args)] | list | "(" term ")"
+func (p *parser) term() (Term, error) {
+	switch {
+	case p.tok.kind == tokVar:
+		name := p.tok.text
+		if name == "_" {
+			p.anonID++
+			name = fmt.Sprintf("_G%d", p.anonID)
+		}
+		return Var{Name: name}, p.advance()
+	case p.tok.kind == tokInt:
+		v := p.tok.ival
+		return Int{Value: v}, p.advance()
+	case p.isOp("-"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokInt {
+			return nil, p.errorf("expected integer after unary minus, found %v", p.tok)
+		}
+		v := p.tok.ival
+		return Int{Value: -v}, p.advance()
+	case p.tok.kind == tokAtom:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isPunct("(") {
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			return Struct{Functor: name, Args: args}, nil
+		}
+		return Atom{Name: name}, nil
+	case p.isPunct("["):
+		return p.list()
+	case p.isPunct("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		return t, p.expectPunct(")")
+	}
+	return nil, p.errorf("expected term, found %v", p.tok)
+}
+
+// list := "[" "]" | "[" term {"," term} ["|" term] "]"
+func (p *parser) list() (Term, error) {
+	if err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	if p.isPunct("]") {
+		return NilList{}, p.advance()
+	}
+	var elems []Term
+	for {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, t)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	var tail Term = NilList{}
+	if p.isPunct("|") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		tail = t
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return nil, err
+	}
+	for i := len(elems) - 1; i >= 0; i-- {
+		tail = Cons{Car: elems[i], Cdr: tail}
+	}
+	return tail, nil
+}
+
+// expr := mul {("+"|"-") mul}
+func (p *parser) expr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("+") || p.isOp("-") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = ExprBin{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+// mulExpr := primary {("*"|"/"|"mod") primary}
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("*") || p.isOp("/") || p.isOp("mod") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.primaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = ExprBin{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+// primaryExpr := int | -primary | var | "(" expr ")"
+func (p *parser) primaryExpr() (Expr, error) {
+	switch {
+	case p.tok.kind == tokInt:
+		v := p.tok.ival
+		return ExprInt{Value: v}, p.advance()
+	case p.isOp("-"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.primaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return ExprBin{Op: "-", L: ExprInt{Value: 0}, R: inner}, nil
+	case p.tok.kind == tokVar:
+		name := p.tok.text
+		return ExprVar{Name: name}, p.advance()
+	case p.isPunct("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	}
+	return nil, p.errorf("expected arithmetic expression, found %v", p.tok)
+}

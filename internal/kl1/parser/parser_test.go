@@ -1,0 +1,212 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) *Clause {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	if len(prog.Procedures) != 1 || len(prog.Procedures[0].Clause) != 1 {
+		t.Fatalf("expected one clause, got %+v", prog)
+	}
+	return prog.Procedures[0].Clause[0]
+}
+
+func TestParseFact(t *testing.T) {
+	c := parseOne(t, "main.")
+	if c.Head.Functor != "main" || len(c.Head.Args) != 0 {
+		t.Errorf("head %+v", c.Head)
+	}
+	if len(c.Guards) != 0 || len(c.Body) != 0 {
+		t.Errorf("fact has guards/body: %+v", c)
+	}
+}
+
+func TestParseFullClause(t *testing.T) {
+	c := parseOne(t, "p(X, Y) :- X > 0 | Y1 := X - 1, p(Y1, Y).")
+	if c.Head.Functor != "p" || len(c.Head.Args) != 2 {
+		t.Fatalf("head %+v", c.Head)
+	}
+	if len(c.Guards) != 1 || c.Guards[0].Kind != ">" {
+		t.Fatalf("guards %+v", c.Guards)
+	}
+	if len(c.Body) != 2 {
+		t.Fatalf("body %+v", c.Body)
+	}
+	if c.Body[0].Kind != "assign" || c.Body[0].Expr.String() != "(X-1)" {
+		t.Errorf("assign %+v", c.Body[0])
+	}
+	if c.Body[1].Kind != "call" || c.Body[1].Name != "p" || len(c.Body[1].Args) != 2 {
+		t.Errorf("call %+v", c.Body[1])
+	}
+}
+
+func TestParseClauseWithoutBar(t *testing.T) {
+	c := parseOne(t, "p :- q, r(1).")
+	if len(c.Guards) != 0 {
+		t.Errorf("guards %+v", c.Guards)
+	}
+	if len(c.Body) != 2 || c.Body[0].Name != "q" || c.Body[1].Name != "r" {
+		t.Errorf("body %+v", c.Body)
+	}
+}
+
+func TestParseTrueGuardAndBodyDropped(t *testing.T) {
+	c := parseOne(t, "p :- true | true.")
+	if len(c.Guards) != 0 || len(c.Body) != 0 {
+		t.Errorf("true not filtered: %+v", c)
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	c := parseOne(t, "p([], [1,2|T], [a]) :- true | true.")
+	if _, ok := c.Head.Args[0].(NilList); !ok {
+		t.Errorf("arg0 %T", c.Head.Args[0])
+	}
+	if got := c.Head.Args[1].String(); got != "[1,2|T]" {
+		t.Errorf("arg1 %s", got)
+	}
+	if got := c.Head.Args[2].String(); got != "[a]" {
+		t.Errorf("arg2 %s", got)
+	}
+}
+
+func TestParseStructsAndNegatives(t *testing.T) {
+	c := parseOne(t, "p(f(X, g(-3)), -7) :- true | true.")
+	if got := c.Head.Args[0].String(); got != "f(X,g(-3))" {
+		t.Errorf("arg0 %s", got)
+	}
+	if got := c.Head.Args[1].(Int).Value; got != -7 {
+		t.Errorf("arg1 %d", got)
+	}
+}
+
+func TestParseGuards(t *testing.T) {
+	c := parseOne(t, "p(X,Y) :- X >= 0, X =< 10, X =:= Y, X =\\= 3, wait(X), integer(Y) | true.")
+	kinds := []string{">=", "=<", "=:=", "=\\=", "wait", "integer"}
+	if len(c.Guards) != len(kinds) {
+		t.Fatalf("guards %+v", c.Guards)
+	}
+	for i, k := range kinds {
+		if c.Guards[i].Kind != k {
+			t.Errorf("guard %d = %q, want %q", i, c.Guards[i].Kind, k)
+		}
+	}
+}
+
+func TestParseOtherwise(t *testing.T) {
+	prog := MustParse(`
+p(0) :- true | q.
+p(X) :- otherwise | r(X).
+`)
+	proc := prog.Lookup("p", 1)
+	if proc == nil || len(proc.Clause) != 2 {
+		t.Fatalf("proc %+v", proc)
+	}
+	if len(proc.Clause[1].Guards) != 1 || proc.Clause[1].Guards[0].Kind != "otherwise" {
+		t.Errorf("otherwise guard missing: %+v", proc.Clause[1].Guards)
+	}
+}
+
+func TestParseUnifyBody(t *testing.T) {
+	c := parseOne(t, "p(X) :- true | X = [1|T], T = [].")
+	if c.Body[0].Kind != "unify" || c.Body[0].Args[1].String() != "[1|T]" {
+		t.Errorf("unify %+v", c.Body[0])
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	c := parseOne(t, "p(X,Y) :- true | Z := X + Y * 2 - (X - 1) mod 3, q(Z).")
+	want := "((X+(Y*2))-((X-1)mod3))"
+	if got := c.Body[0].Expr.String(); got != want {
+		t.Errorf("expr %s, want %s", got, want)
+	}
+}
+
+func TestParseAnonymousVarsAreDistinct(t *testing.T) {
+	c := parseOne(t, "p(_, _) :- true | true.")
+	a := c.Head.Args[0].(Var).Name
+	b := c.Head.Args[1].(Var).Name
+	if a == b {
+		t.Errorf("anonymous vars share a name %q", a)
+	}
+}
+
+func TestParseMultipleProcedures(t *testing.T) {
+	prog := MustParse(`
+main :- true | p(1, R), q(R).
+p(X, Y) :- true | Y = X.
+p(X, Y) :- otherwise | Y = 0.
+q(_).
+`)
+	if len(prog.Procedures) != 3 {
+		t.Fatalf("procedures %d, want 3", len(prog.Procedures))
+	}
+	if prog.Lookup("p", 2) == nil || len(prog.Lookup("p", 2).Clause) != 2 {
+		t.Error("p/2 clauses wrong")
+	}
+	if prog.Lookup("p", 3) != nil {
+		t.Error("phantom p/3")
+	}
+	if prog.Lookup("p", 2).Key() != "p/2" {
+		t.Error("key format")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	prog := MustParse(`
+% a comment
+main. % trailing comment
+`)
+	if len(prog.Procedures) != 1 {
+		t.Errorf("comment parsing broke clause count")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"p :- q",                // missing period
+		"p(",                    // unterminated args
+		"p :- X | q.",           // variable as guard
+		"p :- q | r | s.",       // two bars
+		"P(x).",                 // variable head
+		"p(X) :- true | X + 1.", // comparison-less expression as goal
+		"p :- true(1) | q.",     // true with args
+		"p @ q.",                // stray character
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestClauseString(t *testing.T) {
+	c := parseOne(t, "p(X) :- X > 0 | q(X).")
+	s := c.String()
+	for _, frag := range []string{"p(X)", ":-", "X>0", "|", "q(X)", "."} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+	// A fact renders with explicit true parts.
+	f := parseOne(t, "done.")
+	if f.String() != "done :- true | true." {
+		t.Errorf("fact rendered %q", f.String())
+	}
+}
+
+func TestListStringForms(t *testing.T) {
+	c := parseOne(t, "p([1,2,3], [H|T]) :- true | true.")
+	if got := c.Head.Args[0].String(); got != "[1,2,3]" {
+		t.Errorf("proper list %q", got)
+	}
+	if got := c.Head.Args[1].String(); got != "[H|T]" {
+		t.Errorf("partial list %q", got)
+	}
+}

@@ -1,0 +1,84 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestClauseRoundTrip: rendering a parsed clause with String() and
+// reparsing it yields an identical rendering (a fixpoint after one
+// round, since rendering normalizes implicit true guards/bodies).
+func TestClauseRoundTrip(t *testing.T) {
+	sources := []string{
+		"p.",
+		"p(1, -2, foo).",
+		"p(X, [H|T]) :- H > 0 | q(T, X).",
+		"p(f(g(X), [a,b|C])) :- integer(X) | X1 := X * 2 + 1, r(X1, C).",
+		"p(X, X) :- otherwise | true.",
+		"p(X) :- X =< 3, X >= -3, X =\\= 0 | q(X).",
+		"stream([H|T], O) :- wait(H) | O = [H|O1], stream(T, O1).",
+	}
+	for _, src := range sources {
+		prog1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		c1 := prog1.Procedures[0].Clause[0]
+		rendered := c1.String()
+		prog2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", rendered, src, err)
+		}
+		c2 := prog2.Procedures[0].Clause[0]
+		if c2.String() != rendered {
+			t.Errorf("round trip not a fixpoint:\n  src  %q\n  one  %q\n  two  %q",
+				src, rendered, c2.String())
+		}
+	}
+}
+
+// TestRandomTermRoundTrip generates random terms, renders them as the
+// head argument of a clause, and checks the parse-render fixpoint.
+func TestRandomTermRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var gen func(depth int) Term
+	gen = func(depth int) Term {
+		if depth <= 0 {
+			switch rng.Intn(4) {
+			case 0:
+				return Int{Value: int64(rng.Intn(2000) - 1000)}
+			case 1:
+				return Atom{Name: string(rune('a' + rng.Intn(26)))}
+			case 2:
+				return Var{Name: "V" + string(rune('A'+rng.Intn(26)))}
+			default:
+				return NilList{}
+			}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return Cons{Car: gen(depth - 1), Cdr: gen(depth - 1)}
+		case 1:
+			n := 1 + rng.Intn(3)
+			s := Struct{Functor: "f" + string(rune('a'+rng.Intn(3)))}
+			for i := 0; i < n; i++ {
+				s.Args = append(s.Args, gen(depth-1))
+			}
+			return s
+		default:
+			return gen(0)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		term := gen(3)
+		src := "p(" + term.String() + ")."
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		got := prog.Procedures[0].Clause[0].Head.Args[0].String()
+		if got != term.String() {
+			t.Fatalf("term round trip: %q became %q", term.String(), got)
+		}
+	}
+}

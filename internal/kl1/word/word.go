@@ -1,0 +1,279 @@
+// Package word defines the tagged-word data representation used by the
+// simulated KL1 machine. Every cell of the simulated shared memory holds
+// one Word: a 64-bit value carrying an 8-bit tag and a 56-bit payload.
+//
+// The representation follows the WAM-derived KL1 model described in the
+// PIM cache paper (Goto, Matsumoto, Tick; ISCA 1989): logic variables,
+// references, atoms, small integers, list cells, and structures all live
+// in the heap as tagged words, while goal records, suspension records and
+// communication messages reuse the same encoding in their own areas.
+package word
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Addr is a simulated word address. The machine is word-addressed; block
+// and area geometry are expressed in words throughout the simulator.
+type Addr uint32
+
+// NilAddr is the distinguished null address. Address 0 is reserved by the
+// memory layout so that a zero payload never aliases a real cell.
+const NilAddr Addr = 0
+
+// Tag identifies the interpretation of a Word's payload.
+type Tag uint8
+
+// Word tags. The numeric values are part of the simulated machine's data
+// format (they appear in instruction immediates and in memory dumps) and
+// must not be reordered.
+const (
+	// TagInt is a signed 56-bit integer.
+	TagInt Tag = iota
+	// TagAtom is an interned symbolic constant; payload is the atom id.
+	TagAtom
+	// TagNil is the empty list; payload unused.
+	TagNil
+	// TagRef is a bound reference to another cell; payload is an Addr.
+	TagRef
+	// TagUnbound marks an unbound logic variable. The payload holds the
+	// cell's own address, which lets unification code recover a variable's
+	// location after it has been loaded into a register.
+	TagUnbound
+	// TagHook marks an unbound variable with waiting (suspended) goals;
+	// payload is the address of the first suspension record.
+	TagHook
+	// TagList is a cons cell pointer; car at payload addr, cdr at addr+1.
+	TagList
+	// TagStruct points at a functor word; the args follow contiguously.
+	TagStruct
+	// TagFunctor encodes name/arity inside a structure: payload packs the
+	// atom id (low 40 bits) and arity (next 16 bits).
+	TagFunctor
+	// TagCode is an encoded abstract-machine instruction word.
+	TagCode
+	// TagGoal points at a goal record in the goal area.
+	TagGoal
+	// TagSusp points at a suspension record in the suspension area.
+	TagSusp
+	// TagFree links free records inside a free-list managed area.
+	TagFree
+
+	numTags
+)
+
+var tagNames = [numTags]string{
+	"int", "atom", "nil", "ref", "unb", "hook", "list", "struct",
+	"functor", "code", "goal", "susp", "free",
+}
+
+// String returns the short mnemonic for the tag.
+func (t Tag) String() string {
+	if int(t) < len(tagNames) {
+		return tagNames[t]
+	}
+	return fmt.Sprintf("tag(%d)", uint8(t))
+}
+
+// Word is one cell of simulated memory: tag in the top 8 bits, payload in
+// the low 56.
+type Word uint64
+
+const (
+	payloadBits = 56
+	payloadMask = (Word(1) << payloadBits) - 1
+	intSignBit  = Word(1) << (payloadBits - 1)
+)
+
+// MaxInt and MinInt bound the signed 56-bit integer payload range.
+const (
+	MaxInt = int64(1)<<(payloadBits-1) - 1
+	MinInt = -int64(1) << (payloadBits - 1)
+)
+
+// make assembles a word from tag and raw payload.
+func mk(t Tag, payload Word) Word {
+	return Word(t)<<payloadBits | (payload & payloadMask)
+}
+
+// Tag extracts the word's tag.
+func (w Word) Tag() Tag { return Tag(w >> payloadBits) }
+
+// Payload returns the raw 56-bit payload.
+func (w Word) Payload() uint64 { return uint64(w & payloadMask) }
+
+// Addr interprets the payload as a simulated address.
+func (w Word) Addr() Addr { return Addr(w & payloadMask) }
+
+// Int constructs an integer word. Values outside the 56-bit range panic:
+// the simulated machine has no bignums and the benchmarks are written to
+// stay in range, so an overflow is a program bug, not a runtime condition.
+func Int(v int64) Word {
+	if v > MaxInt || v < MinInt {
+		panic(fmt.Sprintf("word: integer %d outside 56-bit payload range", v))
+	}
+	return mk(TagInt, Word(v)&payloadMask)
+}
+
+// IntVal extracts the signed integer payload.
+func (w Word) IntVal() int64 {
+	p := w & payloadMask
+	if p&intSignBit != 0 {
+		return int64(p | ^payloadMask) // sign-extend
+	}
+	return int64(p)
+}
+
+// Atom constructs an atom word from an interned atom id.
+func Atom(id AtomID) Word { return mk(TagAtom, Word(id)) }
+
+// AtomVal extracts the atom id.
+func (w Word) AtomVal() AtomID { return AtomID(w & payloadMask) }
+
+// Nil is the empty-list constant.
+func Nil() Word { return mk(TagNil, 0) }
+
+// Ref constructs a bound reference to addr.
+func Ref(a Addr) Word { return mk(TagRef, Word(a)) }
+
+// Unbound constructs the self-referential unbound-variable word for the
+// cell at addr.
+func Unbound(a Addr) Word { return mk(TagUnbound, Word(a)) }
+
+// Hook constructs an unbound variable whose suspension list starts at the
+// given suspension-record address.
+func Hook(susp Addr) Word { return mk(TagHook, Word(susp)) }
+
+// List constructs a cons-cell pointer (car at a, cdr at a+1).
+func List(a Addr) Word { return mk(TagList, Word(a)) }
+
+// Struct constructs a structure pointer to the functor word at a.
+func Struct(a Addr) Word { return mk(TagStruct, Word(a)) }
+
+// Functor packs a name/arity pair. Arity is limited to 16 bits.
+func Functor(name AtomID, arity int) Word {
+	if arity < 0 || arity > 0xFFFF {
+		panic(fmt.Sprintf("word: functor arity %d out of range", arity))
+	}
+	return mk(TagFunctor, Word(arity)<<40|Word(name)&((1<<40)-1))
+}
+
+// FunctorName extracts the functor's atom id.
+func (w Word) FunctorName() AtomID { return AtomID(w & ((1 << 40) - 1)) }
+
+// FunctorArity extracts the functor's arity.
+func (w Word) FunctorArity() int { return int((w >> 40) & 0xFFFF) }
+
+// Code wraps a raw encoded instruction payload.
+func Code(payload uint64) Word { return mk(TagCode, Word(payload)) }
+
+// Goal constructs a goal-record pointer.
+func Goal(a Addr) Word { return mk(TagGoal, Word(a)) }
+
+// Susp constructs a suspension-record pointer.
+func Susp(a Addr) Word { return mk(TagSusp, Word(a)) }
+
+// Free constructs a free-list link word.
+func Free(next Addr) Word { return mk(TagFree, Word(next)) }
+
+// IsVar reports whether the word is an unbound variable (with or without
+// suspended goals hooked on it).
+func (w Word) IsVar() bool {
+	t := w.Tag()
+	return t == TagUnbound || t == TagHook
+}
+
+// IsAtomic reports whether the word is a non-pointer constant.
+func (w Word) IsAtomic() bool {
+	switch w.Tag() {
+	case TagInt, TagAtom, TagNil:
+		return true
+	}
+	return false
+}
+
+// String renders the word for debugging without atom names. Use
+// Table.WordString for symbolic output.
+func (w Word) String() string {
+	switch w.Tag() {
+	case TagInt:
+		return fmt.Sprintf("int:%d", w.IntVal())
+	case TagAtom:
+		return fmt.Sprintf("atom:#%d", w.AtomVal())
+	case TagNil:
+		return "[]"
+	case TagFunctor:
+		return fmt.Sprintf("functor:#%d/%d", w.FunctorName(), w.FunctorArity())
+	default:
+		return fmt.Sprintf("%s:%d", w.Tag(), w.Payload())
+	}
+}
+
+// AtomID names an interned atom.
+type AtomID uint32
+
+// Table interns atom names. It lives outside simulated memory: atom names
+// are compile-time constants of the emulated programs, mirroring the
+// paper's assumption that symbolic metadata does not generate memory
+// references.
+//
+// A Table is safe for concurrent use.
+type Table struct {
+	mu    sync.RWMutex
+	ids   map[string]AtomID
+	names []string
+}
+
+// NewTable returns an empty atom table.
+func NewTable() *Table {
+	return &Table{ids: make(map[string]AtomID)}
+}
+
+// Intern returns the id for name, creating it if needed.
+func (tb *Table) Intern(name string) AtomID {
+	tb.mu.RLock()
+	id, ok := tb.ids[name]
+	tb.mu.RUnlock()
+	if ok {
+		return id
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if id, ok := tb.ids[name]; ok {
+		return id
+	}
+	id = AtomID(len(tb.names))
+	tb.names = append(tb.names, name)
+	tb.ids[name] = id
+	return id
+}
+
+// Name returns the string for an atom id, or "#<id>" if unknown.
+func (tb *Table) Name(id AtomID) string {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	if int(id) < len(tb.names) {
+		return tb.names[id]
+	}
+	return fmt.Sprintf("#%d", uint32(id))
+}
+
+// Len reports the number of interned atoms.
+func (tb *Table) Len() int {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	return len(tb.names)
+}
+
+// WordString renders a word using interned atom names.
+func (tb *Table) WordString(w Word) string {
+	switch w.Tag() {
+	case TagAtom:
+		return tb.Name(w.AtomVal())
+	case TagFunctor:
+		return fmt.Sprintf("%s/%d", tb.Name(w.FunctorName()), w.FunctorArity())
+	default:
+		return w.String()
+	}
+}

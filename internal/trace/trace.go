@@ -1,0 +1,236 @@
+// Package trace records and replays simulated memory-reference streams.
+//
+// The KL1 emulator's reference stream — (PE, operation, address) triples
+// in global execution order — does not depend on the cache configuration:
+// the machine interleaves PEs round-robin regardless of hits and misses,
+// and lock conflicts depend only on the lock directories. A stream
+// recorded once per workload can therefore be replayed against many cache
+// organizations, which is how the block-size, capacity and optimization
+// experiments (Figures 1-2, Table 4) run a whole parameter sweep from a
+// single emulation. This is classic trace-driven cache simulation, with
+// the trace produced by our own execution-driven front end.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pimcache/internal/cache"
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/mem"
+)
+
+// Ref is one recorded memory reference.
+type Ref struct {
+	PE   uint8
+	Op   cache.Op
+	Addr word.Addr
+}
+
+// Trace is a recorded reference stream. Layout records the memory-area
+// geometry the stream was produced under: replays must use the same
+// layout or the per-area optimized-command masks would misclassify
+// addresses.
+type Trace struct {
+	PEs    int
+	Layout mem.Layout
+	Refs   []Ref
+}
+
+// Len reports the number of references.
+func (t *Trace) Len() int { return len(t.Refs) }
+
+// Recorder collects references from all PEs of one machine in global
+// order. Wrap each PE's port with Port before running the workload.
+type Recorder struct {
+	trace Trace
+}
+
+// NewRecorder makes a recorder for a machine with pes processors and the
+// given memory layout.
+func NewRecorder(pes int, layout mem.Layout) *Recorder {
+	return &Recorder{trace: Trace{PEs: pes, Layout: layout}}
+}
+
+// Trace returns the recorded stream.
+func (r *Recorder) Trace() *Trace { return &r.trace }
+
+// Port wraps a PE's accessor so every successful operation is recorded
+// before being forwarded. Blocked LockReads are not recorded: the
+// eventual successful retry is the reference that matters for replay.
+func (r *Recorder) Port(pe int, inner mem.Accessor) mem.Accessor {
+	return &recordingPort{rec: r, pe: uint8(pe), inner: inner}
+}
+
+type recordingPort struct {
+	rec   *Recorder
+	pe    uint8
+	inner mem.Accessor
+}
+
+func (p *recordingPort) add(op cache.Op, a word.Addr) {
+	p.rec.trace.Refs = append(p.rec.trace.Refs, Ref{PE: p.pe, Op: op, Addr: a})
+}
+
+func (p *recordingPort) Read(a word.Addr) word.Word {
+	p.add(cache.OpR, a)
+	return p.inner.Read(a)
+}
+
+func (p *recordingPort) Write(a word.Addr, w word.Word) {
+	p.add(cache.OpW, a)
+	p.inner.Write(a, w)
+}
+
+func (p *recordingPort) LockRead(a word.Addr) (word.Word, bool) {
+	w, ok := p.inner.LockRead(a)
+	if ok {
+		p.add(cache.OpLR, a)
+	}
+	return w, ok
+}
+
+func (p *recordingPort) UnlockWrite(a word.Addr, w word.Word) {
+	p.add(cache.OpUW, a)
+	p.inner.UnlockWrite(a, w)
+}
+
+func (p *recordingPort) Unlock(a word.Addr) {
+	p.add(cache.OpU, a)
+	p.inner.Unlock(a)
+}
+
+func (p *recordingPort) DirectWrite(a word.Addr, w word.Word) {
+	p.add(cache.OpDW, a)
+	p.inner.DirectWrite(a, w)
+}
+
+func (p *recordingPort) ExclusiveRead(a word.Addr) word.Word {
+	p.add(cache.OpER, a)
+	return p.inner.ExclusiveRead(a)
+}
+
+func (p *recordingPort) ReadPurge(a word.Addr) word.Word {
+	p.add(cache.OpRP, a)
+	return p.inner.ReadPurge(a)
+}
+
+func (p *recordingPort) ReadInvalidate(a word.Addr) word.Word {
+	p.add(cache.OpRI, a)
+	return p.inner.ReadInvalidate(a)
+}
+
+// LockRead ordering note: a recorded LR always precedes its matching
+// UW/U, and conflicting LRs were serialized by the live run, so replaying
+// in order never blocks.
+
+// Replay drives a trace through the ports of a machine-like set of
+// accessors (one per PE). It returns an error if a lock operation blocks,
+// which would indicate the trace is not a legal serialized stream.
+func Replay(t *Trace, ports []mem.Accessor) error {
+	if len(ports) < t.PEs {
+		return fmt.Errorf("trace: need %d ports, have %d", t.PEs, len(ports))
+	}
+	for i, ref := range t.Refs {
+		port := ports[ref.PE]
+		switch ref.Op {
+		case cache.OpR:
+			port.Read(ref.Addr)
+		case cache.OpW:
+			port.Write(ref.Addr, 0)
+		case cache.OpLR:
+			if _, ok := port.LockRead(ref.Addr); !ok {
+				return fmt.Errorf("trace: ref %d: LR %#x blocked during replay", i, ref.Addr)
+			}
+		case cache.OpUW:
+			port.UnlockWrite(ref.Addr, 0)
+		case cache.OpU:
+			port.Unlock(ref.Addr)
+		case cache.OpDW:
+			port.DirectWrite(ref.Addr, 0)
+		case cache.OpER:
+			port.ExclusiveRead(ref.Addr)
+		case cache.OpRP:
+			port.ReadPurge(ref.Addr)
+		case cache.OpRI:
+			port.ReadInvalidate(ref.Addr)
+		default:
+			return fmt.Errorf("trace: ref %d: unknown op %d", i, ref.Op)
+		}
+	}
+	return nil
+}
+
+// --- serialization ---
+
+const magic = "PIMTRACE2\n"
+
+// Write serializes the trace: a magic header, the PE count, the memory
+// layout, the ref count, then 6 bytes per reference.
+func (t *Trace) Write(w io.Writer) error {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 32)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(t.PEs))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(t.Layout.InstWords))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(t.Layout.HeapWords))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(t.Layout.GoalWords))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(t.Layout.SuspWords))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(t.Layout.CommWords))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(t.Refs)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 6*4096)
+	for i, ref := range t.Refs {
+		buf = append(buf, ref.PE, uint8(ref.Op),
+			byte(ref.Addr), byte(ref.Addr>>8), byte(ref.Addr>>16), byte(ref.Addr>>24))
+		if len(buf) == cap(buf) || i == len(t.Refs)-1 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	return nil
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, got); err != nil {
+		return nil, err
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", got)
+	}
+	hdr := make([]byte, 32)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	t := &Trace{
+		PEs: int(binary.LittleEndian.Uint32(hdr[0:])),
+		Layout: mem.Layout{
+			InstWords: int(binary.LittleEndian.Uint32(hdr[4:])),
+			HeapWords: int(binary.LittleEndian.Uint32(hdr[8:])),
+			GoalWords: int(binary.LittleEndian.Uint32(hdr[12:])),
+			SuspWords: int(binary.LittleEndian.Uint32(hdr[16:])),
+			CommWords: int(binary.LittleEndian.Uint32(hdr[20:])),
+		},
+		Refs: make([]Ref, binary.LittleEndian.Uint64(hdr[24:])),
+	}
+	buf := make([]byte, 6)
+	for i := range t.Refs {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		t.Refs[i] = Ref{
+			PE:   buf[0],
+			Op:   cache.Op(buf[1]),
+			Addr: word.Addr(uint32(buf[2]) | uint32(buf[3])<<8 | uint32(buf[4])<<16 | uint32(buf[5])<<24),
+		}
+	}
+	return t, nil
+}

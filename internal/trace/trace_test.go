@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/kl1/compile"
+	"pimcache/internal/kl1/emulator"
+	"pimcache/internal/kl1/parser"
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/machine"
+	"pimcache/internal/mem"
+)
+
+func TestRecordingPortForwardsAndRecords(t *testing.T) {
+	layout := mem.Layout{InstWords: 64, HeapWords: 256, GoalWords: 64, SuspWords: 32, CommWords: 32}
+	m := mem.New(layout)
+	rec := NewRecorder(1, layout)
+	port := rec.Port(0, mem.DirectAccessor{M: m})
+	a := m.Bounds().HeapBase
+	port.Write(a, word.Int(7))
+	if got := port.Read(a); got.IntVal() != 7 {
+		t.Fatalf("forwarding broken: %v", got)
+	}
+	port.DirectWrite(a+1, word.Int(8))
+	port.ExclusiveRead(a + 1)
+	port.ReadPurge(a + 2)
+	port.ReadInvalidate(a + 3)
+	if _, ok := port.LockRead(a); !ok {
+		t.Fatal("LockRead failed")
+	}
+	port.UnlockWrite(a, word.Int(9))
+	tr := rec.Trace()
+	wantOps := []cache.Op{cache.OpW, cache.OpR, cache.OpDW, cache.OpER,
+		cache.OpRP, cache.OpRI, cache.OpLR, cache.OpUW}
+	if tr.Len() != len(wantOps) {
+		t.Fatalf("recorded %d refs, want %d", tr.Len(), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if tr.Refs[i].Op != op {
+			t.Errorf("ref %d op = %v, want %v", i, tr.Refs[i].Op, op)
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	tr := &Trace{PEs: 4, Layout: mem.Layout{InstWords: 1, HeapWords: 2, GoalWords: 3, SuspWords: 4, CommWords: 5}}
+	for i := 0; i < 1000; i++ {
+		tr.Refs = append(tr.Refs, Ref{
+			PE:   uint8(i % 4),
+			Op:   cache.Op(i % int(cache.NumOps)),
+			Addr: word.Addr(i * 37),
+		})
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.PEs != tr.PEs || got.Len() != tr.Len() || got.Layout != tr.Layout {
+		t.Fatalf("header mismatch: %d/%d %+v", got.PEs, got.Len(), got.Layout)
+	}
+	for i := range tr.Refs {
+		if got.Refs[i] != tr.Refs[i] {
+			t.Fatalf("ref %d: %+v != %+v", i, got.Refs[i], tr.Refs[i])
+		}
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("NOTATRACE!\nxxxx")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+// traceCluster runs an FGHC program with recording ports and returns both
+// the live machine stats and the trace.
+func traceCluster(t *testing.T, src string, pes int, opts cache.Options) (*machine.Machine, *Trace) {
+	t.Helper()
+	mcfg := machine.Config{
+		PEs: pes,
+		Layout: mem.Layout{InstWords: 16 << 10, HeapWords: 256 << 10,
+			GoalWords: 32 << 10, SuspWords: 8 << 10, CommWords: 4 << 10},
+		Cache: cache.Config{SizeWords: 1 << 10, BlockWords: 4, Ways: 4,
+			LockEntries: 4, Options: opts, VerifyDW: true},
+		Timing: bus.DefaultTiming(),
+	}
+	m := machine.New(mcfg)
+	img := compileSrc(t, src)
+	sh, err := emulator.NewShared(img, m.Memory(), pes, emulator.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(pes, mcfg.Layout)
+	for i := 0; i < pes; i++ {
+		e, err := emulator.NewEngine(sh, i, rec.Port(i, m.Port(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Attach(i, e)
+	}
+	res := m.Run(10_000_000)
+	if res.Failed || res.HitStepLimit {
+		t.Fatalf("live run failed: %+v", res)
+	}
+	return m, rec.Trace()
+}
+
+const testProgram = `
+main :- true | produce(30, S), consume(S, 0, R), println(R).
+produce(0, S) :- true | S = [].
+produce(N, S) :- N > 0 | S = [N|S1], N1 := N - 1, produce(N1, S1).
+consume([], Acc, R) :- true | R = Acc.
+consume([H|T], Acc, R) :- true | A1 := Acc + H, consume(T, A1, R).
+`
+
+// TestReplayReproducesLiveRun is the key property: replaying the trace
+// against an identically configured cache stack produces identical bus
+// statistics.
+func TestReplayReproducesLiveRun(t *testing.T) {
+	opts := cache.OptionsAll()
+	liveMachine, tr := traceCluster(t, testProgram, 2, opts)
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+
+	replayMachine := machine.New(liveMachine.Config())
+	ports := make([]mem.Accessor, 2)
+	for i := range ports {
+		ports[i] = replayMachine.Port(i)
+	}
+	if err := Replay(tr, ports); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	live, rep := liveMachine.BusStats(), replayMachine.BusStats()
+	if live.TotalCycles != rep.TotalCycles {
+		t.Errorf("bus cycles: live %d, replay %d", live.TotalCycles, rep.TotalCycles)
+	}
+	for p := bus.Pattern(0); p < bus.NumPatterns; p++ {
+		if live.CountByPattern[p] != rep.CountByPattern[p] {
+			t.Errorf("pattern %v: live %d, replay %d", p,
+				live.CountByPattern[p], rep.CountByPattern[p])
+		}
+	}
+	liveCS, repCS := liveMachine.CacheStats(), replayMachine.CacheStats()
+	if liveCS.MissRatio() != repCS.MissRatio() {
+		t.Errorf("miss ratio: live %v, replay %v", liveCS.MissRatio(), repCS.MissRatio())
+	}
+}
+
+// TestReplayAcrossConfigs replays one trace against several cache
+// configurations, checking the expected qualitative ordering.
+func TestReplayAcrossConfigs(t *testing.T) {
+	_, tr := traceCluster(t, testProgram, 2, cache.OptionsAll())
+
+	cycles := func(opts cache.Options, blockWords, sizeWords int) uint64 {
+		mcfg := machine.Config{
+			PEs: 2,
+			Layout: mem.Layout{InstWords: 16 << 10, HeapWords: 256 << 10,
+				GoalWords: 32 << 10, SuspWords: 8 << 10, CommWords: 4 << 10},
+			Cache: cache.Config{SizeWords: sizeWords, BlockWords: blockWords,
+				Ways: 4, LockEntries: 4, Options: opts},
+			Timing: bus.DefaultTiming(),
+		}
+		m := machine.New(mcfg)
+		ports := []mem.Accessor{m.Port(0), m.Port(1)}
+		if err := Replay(tr, ports); err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		return m.BusStats().TotalCycles
+	}
+
+	all := cycles(cache.OptionsAll(), 4, 1<<10)
+	none := cycles(cache.OptionsNone(), 4, 1<<10)
+	if all >= none {
+		t.Errorf("optimizations did not reduce traffic: all=%d none=%d", all, none)
+	}
+	big := cycles(cache.OptionsAll(), 4, 4<<10)
+	if big > all {
+		t.Errorf("larger cache increased traffic: %d > %d", big, all)
+	}
+}
+
+func compileSrc(t *testing.T, src string) *compile.Image {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := compile.Compile(prog, word.NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}

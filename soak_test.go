@@ -1,0 +1,80 @@
+// Full-scale soak tests: run every paper benchmark at its default scale
+// on the base system, verifying the computed answers and the coherence
+// invariants. Skipped with -short (several seconds per benchmark).
+package pimcache
+
+import (
+	"testing"
+
+	"pimcache/internal/bench"
+	"pimcache/internal/bench/programs"
+	"pimcache/internal/cache"
+)
+
+func TestSoakFullScaleBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale benchmarks take seconds each")
+	}
+	for _, b := range programs.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			ccfg := bench.BaseCache(cache.OptionsAll())
+			ccfg.VerifyDW = true // assert the DW software contract throughout
+			rd, _, err := bench.RunLive(b, b.DefaultScale, 8, ccfg, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rd.Result.Floating != 0 {
+				t.Errorf("%d floating goals at termination", rd.Result.Floating)
+			}
+			if rd.Result.Emu.Reductions < 10_000 {
+				t.Errorf("suspiciously few reductions: %d", rd.Result.Emu.Reductions)
+			}
+			t.Logf("%s: %d reductions, %d refs, %d bus cycles, miss %.4f",
+				b.Name, rd.Result.Emu.Reductions, rd.Cache.TotalRefs(),
+				rd.Bus.TotalCycles, rd.Cache.MissRatio())
+		})
+	}
+}
+
+func TestSoakGCFullBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	// Puzzle at default scale with a heap small enough to force many
+	// collections; the answer must be unchanged.
+	cfg := DefaultConfig()
+	cfg.PEs = 4
+	cfg.HeapWords = 96 << 10 // per-PE semispace: 12K words
+	cfg.EnableGC = true
+	b, _ := programs.ByName("Puzzle")
+	res, err := Run(b.Source(b.DefaultScale), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("failed: %s", res.FailReason)
+	}
+	if want := b.Expected(b.DefaultScale); res.Output != want {
+		t.Errorf("output %q, want %q", res.Output, want)
+	}
+}
+
+func TestSoakDeterminismFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	b, _ := programs.ByName("Pascal")
+	r1, _, err := bench.RunLive(b, b.DefaultScale, 8, bench.BaseCache(cache.OptionsAll()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := bench.RunLive(b, b.DefaultScale, 8, bench.BaseCache(cache.OptionsAll()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Bus.TotalCycles != r2.Bus.TotalCycles || r1.Result.Steps != r2.Result.Steps {
+		t.Errorf("nondeterministic full-scale run: %d/%d vs %d/%d",
+			r1.Bus.TotalCycles, r1.Result.Steps, r2.Bus.TotalCycles, r2.Result.Steps)
+	}
+}
