@@ -13,6 +13,7 @@ package pimcache
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"pimcache/internal/bench"
 	"pimcache/internal/bench/programs"
@@ -361,4 +362,82 @@ func BenchmarkGarbageCollector(b *testing.B) {
 			b.Fatalf("bad run: %+v", res)
 		}
 	}
+}
+
+// --- parallel evaluation engine benchmarks ---
+
+// collectEngineOptions is the workload for the Collect engine benchmarks:
+// one benchmark at quick scale with reduced sweeps, so one iteration is a
+// complete record-and-replay job graph.
+func collectEngineOptions(jobs int) bench.Options {
+	return bench.Options{
+		Quick:      true,
+		PEs:        2,
+		PESweep:    []int{1, 2},
+		BlockSizes: []int{2, 4},
+		Capacities: []int{512, 2 << 10},
+		Benchmarks: []string{"Pascal"},
+		Jobs:       jobs,
+	}
+}
+
+// BenchmarkCollectSerial measures the legacy single-worker evaluation.
+func BenchmarkCollectSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Collect(collectEngineOptions(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectParallel measures the worker-pool evaluation and reports
+// its speedup over the serial path as a custom metric (expect ~1.0 on one
+// core; it grows with available CPUs since live runs and replays are
+// independent jobs).
+func BenchmarkCollectParallel(b *testing.B) {
+	start := time.Now()
+	if _, err := bench.Collect(collectEngineOptions(1)); err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(start).Seconds()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Collect(collectEngineOptions(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(serial/(b.Elapsed().Seconds()/float64(b.N)), "speedup")
+}
+
+// BenchmarkReplayThroughput measures the trace-replay hot path (the bulk
+// of every sweep) in references per second.
+func BenchmarkReplayThroughput(b *testing.B) {
+	bm, _ := programs.ByName("Pascal")
+	_, tr, err := bench.RunLive(bm, bm.SmallScale, 8, bench.BaseCache(cache.OptionsAll()), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.ReplayConfig(tr, bench.BaseCache(cache.OptionsAll()), bus.DefaultTiming()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+}
+
+// BenchmarkSimulateRecordPuzzle is BenchmarkSimulatePuzzle with trace
+// recording on; with -benchmem it shows the recorder's allocation profile
+// (the capacity hint keeps the stream to a handful of allocations).
+func BenchmarkSimulateRecordPuzzle(b *testing.B) {
+	bm, _ := programs.ByName("Puzzle")
+	var refs int
+	for i := 0; i < b.N; i++ {
+		_, tr, err := bench.RunLive(bm, bm.SmallScale, 8, bench.BaseCache(cache.OptionsAll()), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs = tr.Len()
+	}
+	b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
 }

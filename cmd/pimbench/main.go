@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	pimbench                     # everything, paper scales
+//	pimbench                     # everything, paper scales, all cores
 //	pimbench -quick              # everything, reduced scales
 //	pimbench -table 4            # one table
 //	pimbench -figure 2           # one figure
 //	pimbench -extra buswidth     # one in-text experiment
 //	pimbench -bench Tri          # restrict to one benchmark
+//	pimbench -jobs 1             # serial (legacy) evaluation
+//
+// Live runs and trace replays fan out over -jobs worker goroutines; the
+// produced tables are byte-identical for every job count.
 package main
 
 import (
@@ -29,11 +33,13 @@ func main() {
 		extra   = flag.String("extra", "", "in-text experiment: buswidth, assoc, optdetail, protocols, illinois")
 		benches = flag.String("bench", "", "comma-separated benchmark subset (Tri,Semi,Puzzle,Pascal)")
 		verbose = flag.Bool("v", false, "print progress")
+		jobs    = flag.Int("jobs", 0, "concurrent simulations (0 = all CPU cores, 1 = serial)")
 	)
 	flag.Parse()
 
 	o := bench.DefaultOptions()
 	o.Quick = *quick
+	o.Jobs = *jobs
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}

@@ -1,7 +1,7 @@
-// Command pimsim runs one KL1 benchmark on the simulated PIM cluster
-// under one cache configuration and prints the full statistics: the
-// workload summary, references by area and operation, bus cycles by area
-// and access pattern, cache hit ratios, and lock-protocol effectiveness.
+// Command pimsim runs KL1 benchmarks on the simulated PIM cluster under
+// one cache configuration and prints the full statistics: the workload
+// summary, references by area and operation, bus cycles by area and
+// access pattern, cache hit ratios, and lock-protocol effectiveness.
 //
 // Usage:
 //
@@ -9,24 +9,32 @@
 //	pimsim -bench Puzzle -pes 4 -opts none
 //	pimsim -bench Semi -scale 128 -cache 8192 -block 8 -ways 2
 //	pimsim -bench Pascal -protocol illinois
+//	pimsim -bench Tri,Semi,Puzzle,Pascal   # several, simulated in parallel
+//
+// With a comma-separated -bench list the simulations fan out over -jobs
+// worker goroutines (every run owns a private simulated machine); the
+// reports print in list order regardless of completion order.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"pimcache/internal/bench"
 	"pimcache/internal/bench/programs"
 	"pimcache/internal/bus"
 	"pimcache/internal/cache"
 	"pimcache/internal/mem"
+	"pimcache/internal/par"
 	"pimcache/internal/stats"
 )
 
 func main() {
 	var (
-		benchName = flag.String("bench", "Tri", "benchmark: Tri, Semi, Puzzle, Pascal")
+		benchList = flag.String("bench", "Tri", "comma-separated benchmarks: Tri, Semi, Puzzle, Pascal, BUP, PuzzleVec")
 		scale     = flag.Int("scale", 0, "benchmark scale (0 = default)")
 		pes       = flag.Int("pes", 8, "number of processing elements")
 		size      = flag.Int("cache", 4<<10, "cache size in data words")
@@ -35,16 +43,18 @@ func main() {
 		optsName  = flag.String("opts", "all", "optimized commands: none, heap, goal, comm, all")
 		protocol  = flag.String("protocol", "pim", "coherence protocol: pim, illinois, writethrough")
 		width     = flag.Int("buswidth", 1, "bus width in words")
+		jobs      = flag.Int("jobs", 0, "concurrent simulations (0 = all CPU cores)")
 	)
 	flag.Parse()
 
-	b, ok := programs.ByName(*benchName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "pimsim: unknown benchmark %q\n", *benchName)
-		os.Exit(2)
-	}
-	if *scale == 0 {
-		*scale = b.DefaultScale
+	var benches []programs.Benchmark
+	for _, name := range strings.Split(*benchList, ",") {
+		b, ok := programs.ByName(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pimsim: unknown benchmark %q\n", name)
+			os.Exit(2)
+		}
+		benches = append(benches, b)
 	}
 	var opts cache.Options
 	switch *optsName {
@@ -81,19 +91,44 @@ func main() {
 		os.Exit(2)
 	}
 
-	rd, _, err := bench.RunLiveTiming(b, *scale, *pes, ccfg,
-		bus.Timing{MemCycles: 8, WidthWords: *width}, false)
+	// Fan the runs out, but buffer each report and print in list order.
+	reports := make([]strings.Builder, len(benches))
+	pool := par.New(*jobs)
+	for i, b := range benches {
+		i, b := i, b
+		pool.Go(func() error {
+			runScale := *scale
+			if runScale == 0 {
+				runScale = b.DefaultScale
+			}
+			rd, _, err := bench.RunLiveTiming(b, runScale, *pes, ccfg,
+				bus.Timing{MemCycles: 8, WidthWords: *width}, false)
+			if err != nil {
+				return err
+			}
+			printReport(&reports[i], b, rd, ccfg)
+			return nil
+		})
+	}
+	err := pool.Wait()
+	for i := range reports {
+		if reports[i].Len() > 0 {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(reports[i].String())
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimsim:", err)
 		os.Exit(1)
 	}
-	printReport(b, rd, ccfg)
 }
 
-func printReport(b programs.Benchmark, rd *bench.RunData, ccfg cache.Config) {
+func printReport(w io.Writer, b programs.Benchmark, rd *bench.RunData, ccfg cache.Config) {
 	res := rd.Result
-	fmt.Printf("%s (scale %d) on %d PEs — %s\n", rd.Bench, rd.Scale, rd.PEs, b.Description)
-	fmt.Printf("cache: %d words, %d-word blocks, %d-way, protocol %s\n\n",
+	fmt.Fprintf(w, "%s (scale %d) on %d PEs — %s\n", rd.Bench, rd.Scale, rd.PEs, b.Description)
+	fmt.Fprintf(w, "cache: %d words, %d-word blocks, %d-way, protocol %s\n\n",
 		ccfg.SizeWords, ccfg.BlockWords, ccfg.Ways, ccfg.Protocol)
 
 	sum := &stats.Table{Title: "Run summary", Columns: []string{"metric", "value"}}
@@ -106,7 +141,7 @@ func printReport(b programs.Benchmark, rd *bench.RunData, ccfg cache.Config) {
 	sum.AddRow("instructions", fmt.Sprint(res.Emu.Instructions))
 	sum.AddRow("memory references", fmt.Sprint(rd.Cache.TotalRefs()))
 	sum.AddRow("machine rounds", fmt.Sprint(res.Rounds))
-	fmt.Println(sum)
+	fmt.Fprintln(w, sum)
 
 	cs := rd.Cache
 	areas := &stats.Table{Title: "Memory references by area and operation",
@@ -119,7 +154,7 @@ func printReport(b programs.Benchmark, rd *bench.RunData, ccfg cache.Config) {
 		row = append(row, fmt.Sprint(cs.RefsByArea(a)))
 		areas.AddRow(a.String(), row...)
 	}
-	fmt.Println(areas)
+	fmt.Fprintln(w, areas)
 
 	bs := rd.Bus
 	busT := &stats.Table{Title: "Common bus", Columns: []string{"metric", "value"}}
@@ -136,7 +171,7 @@ func printReport(b programs.Benchmark, rd *bench.RunData, ccfg cache.Config) {
 		busT.AddRow(c.String()+" commands", fmt.Sprint(bs.Commands[c]))
 	}
 	busT.AddRow("memory-module busy cycles", fmt.Sprint(bs.MemBusyCycles))
-	fmt.Println(busT)
+	fmt.Fprintln(w, busT)
 
 	ct := &stats.Table{Title: "Cache behaviour", Columns: []string{"metric", "value"}}
 	ct.AddRow("miss ratio", fmt.Sprintf("%.4f", cs.MissRatio()))
@@ -151,7 +186,7 @@ func printReport(b programs.Benchmark, rd *bench.RunData, ccfg cache.Config) {
 	ct.AddRow("unlocks with no waiter", fmt.Sprintf("%.3f",
 		stats.Ratio(cs.UnlockNoWaiter, cs.UnlockNoWaiter+cs.UnlockWaiter)))
 	ct.AddRow("busy waits", fmt.Sprint(cs.BusyWaits))
-	fmt.Println(ct)
+	fmt.Fprintln(w, ct)
 
 	bal := &stats.Table{Title: "Per-PE balance",
 		Columns: []string{"PE", "reductions", "suspensions", "sent", "stolen"}}
@@ -159,5 +194,5 @@ func printReport(b programs.Benchmark, rd *bench.RunData, ccfg cache.Config) {
 		bal.AddRow(fmt.Sprint(i), fmt.Sprint(st.Reductions),
 			fmt.Sprint(st.Suspensions), fmt.Sprint(st.GoalsSent), fmt.Sprint(st.GoalsStolen))
 	}
-	fmt.Println(bal)
+	fmt.Fprintln(w, bal)
 }

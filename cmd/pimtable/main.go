@@ -8,6 +8,11 @@
 //
 //	pimtable                  # PIM protocol
 //	pimtable -protocol illinois
+//	pimtable -jobs 1          # derive serially
+//
+// Each transition is derived by an independent two-cache experiment, so
+// the derivation fans out over -jobs workers; the table is identical for
+// every job count.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 
 func main() {
 	proto := flag.String("protocol", "pim", "pim, illinois, or writethrough")
+	jobs := flag.Int("jobs", 0, "concurrent derivation experiments (0 = all CPU cores)")
 	flag.Parse()
 	var p cache.Protocol
 	switch *proto {
@@ -33,7 +39,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pimtable: unknown protocol %q\n", *proto)
 		os.Exit(2)
 	}
-	rows := cache.DeriveTransitions(p)
+	rows := cache.DeriveTransitionsJobs(p, *jobs)
 	fmt.Printf("%s protocol: %d derived transitions\n", *proto, len(rows))
 	fmt.Println("(local PE0 state x remote PE1 context x processor op; base timing)")
 	fmt.Println()

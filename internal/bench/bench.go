@@ -21,6 +21,7 @@ import (
 	"pimcache/internal/kl1/word"
 	"pimcache/internal/machine"
 	"pimcache/internal/mem"
+	"pimcache/internal/par"
 	"pimcache/internal/trace"
 
 	"pimcache/internal/bench/programs"
@@ -48,8 +49,15 @@ type Options struct {
 	SkipSweeps bool
 	// Benchmarks restricts the set (nil = all four).
 	Benchmarks []string
-	// Progress, when non-nil, receives progress lines.
+	// Progress, when non-nil, receives progress lines. Writes are
+	// serialized and line-atomic even when jobs run concurrently.
 	Progress io.Writer
+	// Jobs bounds how many simulations (live runs and trace replays)
+	// execute concurrently: 0 means runtime.NumCPU(), 1 selects the
+	// serial legacy path. Every value produces identical results — jobs
+	// share only read-only traces, and results are assembled by job
+	// identity, never by completion order.
+	Jobs int
 }
 
 // DefaultOptions mirrors the paper's evaluation.
@@ -65,6 +73,26 @@ func DefaultOptions() Options {
 
 // quickScales are reduced workloads for fast iterations.
 var quickScales = map[string]int{"Tri": 7, "Semi": 128, "Puzzle": 4, "Pascal": 12, "BUP": 10, "PuzzleVec": 4}
+
+// refHints are measured reference counts (8 PEs, all opts) at the scales
+// the harness actually records at — each benchmark's quick, small and
+// default scale — padded ~15% for PE-count and load-balance variation.
+// They seed the trace recorder's capacity so recording a multi-million
+// reference stream does not repeatedly regrow and copy its backing array.
+var refHints = map[string]map[int]int{
+	"Tri":       {6: 300_000, 7: 1_750_000, 8: 17_500_000},
+	"Semi":      {64: 1_460_000, 128: 6_850_000, 256: 34_100_000},
+	"Puzzle":    {2: 81_000, 4: 1_170_000, 5: 4_120_000},
+	"Pascal":    {3: 201_000, 12: 548_000, 48: 2_110_000},
+	"BUP":       {6: 118_000, 10: 489_000, 14: 1_390_000},
+	"PuzzleVec": {2: 90_000, 4: 1_060_000, 5: 3_510_000},
+}
+
+// refHint estimates the reference-stream length for a benchmark run, or 0
+// when the scale has no measurement (the recorder then grows on demand).
+func refHint(name string, scale int) int {
+	return refHints[name][scale]
+}
 
 // ScaleFor returns the scale a benchmark runs at under the options.
 func (o Options) ScaleFor(b programs.Benchmark) int {
@@ -132,7 +160,7 @@ func RunLiveTiming(b programs.Benchmark, scale, pes int, ccfg cache.Config, timi
 	}
 	var rec *trace.Recorder
 	if record {
-		rec = trace.NewRecorder(pes, Layout())
+		rec = trace.NewRecorderHint(pes, Layout(), refHint(b.Name, scale))
 	}
 	cl := &emulator.Cluster{Machine: m, Shared: sh}
 	for i := 0; i < pes; i++ {
@@ -251,27 +279,47 @@ type Data struct {
 }
 
 // Collect runs the whole evaluation. Each benchmark's trace is recorded
-// once (at Options.PEs) and replayed across configurations, then
-// discarded before the next benchmark to bound memory.
+// once (at Options.PEs) and replayed across configurations; a trace is
+// released as soon as its last replay finishes, to bound memory.
+//
+// With Jobs != 1 the run is executed by the parallel evaluation engine
+// (see parallel.go): live runs and replays fan out over a bounded worker
+// pool, and the assembled Data is identical to the serial result.
 func Collect(o Options) (*Data, error) {
 	if o.PEs == 0 {
 		o = mergeDefaults(o)
 	}
-	progress := func(format string, args ...interface{}) {
-		if o.Progress != nil {
-			fmt.Fprintf(o.Progress, format+"\n", args...)
-		}
+	if par.Jobs(o.Jobs) > 1 {
+		return collectParallel(o)
 	}
-	data := &Data{Options: o}
+	return collectSerial(o)
+}
+
+// selectedBenchmarks resolves the benchmark set an options value runs.
+func selectedBenchmarks(o Options) []programs.Benchmark {
 	pool := programs.All()
 	if len(o.Benchmarks) > 0 {
 		// Explicit selections may include the extra benchmarks (BUP,
 		// PuzzleVec).
 		pool = programs.AllWithExtras()
 	}
+	var sel []programs.Benchmark
 	for _, b := range pool {
-		if !benchSelected(o, b.Name) {
-			continue
+		if benchSelected(o, b.Name) {
+			sel = append(sel, b)
+		}
+	}
+	return sel
+}
+
+// collectSerial is the legacy single-core path (Jobs=1): one benchmark at
+// a time, one configuration at a time, in a fixed order.
+func collectSerial(o Options) (*Data, error) {
+	pw := newProgressLog(o.Progress)
+	data := &Data{Options: o}
+	for _, b := range selectedBenchmarks(o) {
+		progress := func(format string, args ...interface{}) {
+			pw.Printf(b.Name, format, args...)
 		}
 		scale := o.ScaleFor(b)
 		bd := &BenchData{
@@ -285,7 +333,7 @@ func Collect(o Options) (*Data, error) {
 		// Live PE sweep with all optimizations (Figure 3, Table 1).
 		var tr *trace.Trace
 		for _, pes := range o.PESweep {
-			progress("%s: live run on %d PEs (scale %d)", b.Name, pes, scale)
+			progress("live run on %d PEs (scale %d)", pes, scale)
 			record := pes == o.PEs
 			rd, t, err := RunLive(b, scale, pes, BaseCache(cache.OptionsAll()), record)
 			if err != nil {
@@ -302,7 +350,7 @@ func Collect(o Options) (*Data, error) {
 		}
 		// Table 4 variants.
 		for _, v := range OptVariants {
-			progress("%s: replay %s (%d refs)", b.Name, v.Name, tr.Len())
+			progress("replay %s (%d refs)", v.Name, tr.Len())
 			bs, cs, err := ReplayConfig(tr, BaseCache(v.Opts), bus.DefaultTiming())
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", b.Name, v.Name, err)
@@ -313,7 +361,7 @@ func Collect(o Options) (*Data, error) {
 		if !o.SkipSweeps {
 			// Figure 1: block sizes.
 			for _, bw := range o.BlockSizes {
-				progress("%s: replay block=%d", b.Name, bw)
+				progress("replay block=%d", bw)
 				cfg := BaseCache(cache.OptionsAll())
 				cfg.BlockWords = bw
 				bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
@@ -327,7 +375,7 @@ func Collect(o Options) (*Data, error) {
 			}
 			// Figure 2: capacities.
 			for _, size := range o.Capacities {
-				progress("%s: replay capacity=%d", b.Name, size)
+				progress("replay capacity=%d", size)
 				cfg := BaseCache(cache.OptionsAll())
 				cfg.SizeWords = size
 				bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
@@ -341,7 +389,7 @@ func Collect(o Options) (*Data, error) {
 			}
 			// Associativity ablation (Section 4.3).
 			for _, ways := range o.Associativities {
-				progress("%s: replay ways=%d", b.Name, ways)
+				progress("replay ways=%d", ways)
 				cfg := BaseCache(cache.OptionsAll())
 				cfg.Ways = ways
 				bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
@@ -353,7 +401,7 @@ func Collect(o Options) (*Data, error) {
 				})
 			}
 			// Two-word bus (Section 4.4).
-			progress("%s: replay two-word bus", b.Name)
+			progress("replay two-word bus")
 			w2, _, err := ReplayConfig(tr, BaseCache(cache.OptionsAll()),
 				bus.Timing{MemCycles: 8, WidthWords: 2})
 			if err != nil {
@@ -361,7 +409,7 @@ func Collect(o Options) (*Data, error) {
 			}
 			bd.Width2 = w2
 			// Illinois baseline (Section 3.1).
-			progress("%s: replay Illinois", b.Name)
+			progress("replay Illinois")
 			ill := BaseCache(cache.OptionsNone())
 			ill.Protocol = cache.ProtocolIllinois
 			ibs, _, err := ReplayConfig(tr, ill, bus.DefaultTiming())
@@ -370,7 +418,7 @@ func Collect(o Options) (*Data, error) {
 			}
 			bd.Illinois = ibs
 			// Write-through baseline (Section 3 premise).
-			progress("%s: replay write-through", b.Name)
+			progress("replay write-through")
 			wt := BaseCache(cache.OptionsNone())
 			wt.Protocol = cache.ProtocolWriteThrough
 			wbs, _, err := ReplayConfig(tr, wt, bus.DefaultTiming())
@@ -390,6 +438,7 @@ func mergeDefaults(o Options) Options {
 	d.SkipSweeps = o.SkipSweeps
 	d.Benchmarks = o.Benchmarks
 	d.Progress = o.Progress
+	d.Jobs = o.Jobs
 	if o.PESweep != nil {
 		d.PESweep = o.PESweep
 	}

@@ -184,3 +184,56 @@ func TestCollectRejectsMissingPEs(t *testing.T) {
 		t.Error("PESweep without PEs accepted")
 	}
 }
+
+// TestCollectParallelDeterminism is the parallel evaluation engine's
+// regression oracle: a Collect with Jobs=8 must render every table and
+// figure byte-identically to the serial Jobs=1 run. The workload is small
+// (Puzzle at its smallest scale) but exercises the full job graph — live
+// PE sweep, all five optimization replays, block/capacity/way sweeps, and
+// the two-word-bus, Illinois and write-through extras.
+func TestCollectParallelDeterminism(t *testing.T) {
+	// Run Puzzle at its tiny scale: the test cares about assembly order,
+	// not statistics.
+	old := quickScales["Puzzle"]
+	quickScales["Puzzle"] = 2
+	defer func() { quickScales["Puzzle"] = old }()
+
+	o := Options{
+		Quick:           true,
+		PEs:             2,
+		PESweep:         []int{1, 2},
+		BlockSizes:      []int{2, 4},
+		Capacities:      []int{512, 2 << 10},
+		Associativities: []int{1, 4},
+		Benchmarks:      []string{"Puzzle"},
+	}
+	o.Jobs = 1
+	serial, err := Collect(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Jobs = 8
+	parallel, err := Collect(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := RenderAll(parallel), RenderAll(serial)
+	if got != want {
+		t.Errorf("parallel run is not byte-identical to serial run\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+	if len(want) == 0 {
+		t.Error("rendered evaluation is empty")
+	}
+}
+
+// TestCollectParallelPropagatesError: a failing job must surface its error
+// from Collect rather than hang or panic the pool.
+func TestCollectParallelPropagatesError(t *testing.T) {
+	o := Options{
+		Quick: true, PEs: 8, PESweep: []int{1, 2}, SkipSweeps: true,
+		Benchmarks: []string{"Pascal"}, Jobs: 4,
+	}
+	if _, err := Collect(o); err == nil {
+		t.Error("PESweep without PEs accepted by parallel path")
+	}
+}

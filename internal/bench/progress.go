@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// progressLog serializes progress output from concurrent jobs. Every line
+// is rendered to a complete "label: message\n" string first and handed to
+// the underlying writer in a single Write call under a mutex, so lines
+// from racing jobs never interleave mid-line. A nil underlying writer
+// turns every call into a no-op.
+type progressLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newProgressLog(w io.Writer) *progressLog {
+	return &progressLog{w: w}
+}
+
+// Printf emits one labeled progress line. The label identifies the job
+// (benchmark name, or benchmark/configuration in parallel runs).
+func (p *progressLog) Printf(label, format string, args ...interface{}) {
+	if p == nil || p.w == nil {
+		return
+	}
+	line := label + ": " + fmt.Sprintf(format, args...) + "\n"
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	io.WriteString(p.w, line)
+}

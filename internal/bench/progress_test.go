@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// callWriter records every individual Write call it receives.
+type callWriter struct {
+	mu    sync.Mutex
+	calls []string
+}
+
+func (w *callWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.calls = append(w.calls, string(p))
+	return len(p), nil
+}
+
+// TestProgressLogLineAtomic races many writers against one progressLog and
+// checks that every Write call the underlying writer sees is exactly one
+// complete labeled line — the property that keeps -v output readable when
+// jobs log concurrently.
+func TestProgressLogLineAtomic(t *testing.T) {
+	const writers, lines = 8, 50
+	w := &callWriter{}
+	pw := newProgressLog(w)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < lines; i++ {
+				pw.Printf(fmt.Sprintf("job%d", g), "step %d of %d", i, lines)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(w.calls) != writers*lines {
+		t.Fatalf("got %d Write calls, want %d", len(w.calls), writers*lines)
+	}
+	for _, c := range w.calls {
+		if !strings.HasSuffix(c, "\n") || strings.Count(c, "\n") != 1 {
+			t.Fatalf("write is not one complete line: %q", c)
+		}
+		if !strings.HasPrefix(c, "job") || !strings.Contains(c, ": step ") {
+			t.Fatalf("line lost its label: %q", c)
+		}
+	}
+}
+
+// TestProgressLogNilSafe: a nil writer (progress disabled) must be a
+// no-op, and so must a nil receiver.
+func TestProgressLogNilSafe(t *testing.T) {
+	newProgressLog(nil).Printf("x", "dropped")
+	var pw *progressLog
+	pw.Printf("x", "dropped")
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 
 	"pimcache/internal/bus"
 	"pimcache/internal/cache"
@@ -430,6 +431,36 @@ func ExtraProtocols(d *Data) *stats.Table {
 			stats.Ratio(bd.OptBus["All"].TotalCycles, base))
 	}
 	return t
+}
+
+// RenderAll renders every table, figure and in-text experiment of the
+// evaluation in canonical order. The output is a pure function of the
+// dataset, so it doubles as the determinism oracle: Collect at any Jobs
+// setting must render byte-identically to the serial run.
+func RenderAll(d *Data) string {
+	f1m, f1t := Figure1(d)
+	f2m, f2t := Figure2(d)
+	f3t, f3s := Figure3(d)
+	parts := []string{
+		Table1(d).String(), Table2(d).String(), Table3(d).String(),
+		Table4(d).String(), Table5(d).String(),
+		f1m.String(), f1t.String(),
+		f2m.String(), f2t.String(),
+		f3t.String(), f3s.String(),
+		ExtraBusWidth(d).String(),
+		ExtraAssociativity(d).String(),
+		ExtraOptDetail(d).String(),
+		ExtraProtocols(d).String(),
+		ExtraIllinois(d).String(),
+	}
+	var sb strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(p)
+	}
+	return sb.String()
 }
 
 // ExtraIllinois reports the Section 3.1 SM-state rationale: shared-memory

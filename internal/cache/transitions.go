@@ -8,6 +8,7 @@ import (
 	"pimcache/internal/bus"
 	"pimcache/internal/kl1/word"
 	"pimcache/internal/mem"
+	"pimcache/internal/par"
 )
 
 // Transition-table derivation.
@@ -43,6 +44,15 @@ type TransitionRow struct {
 // DeriveTransitions computes the protocol transition table for the given
 // protocol by direct experiment.
 func DeriveTransitions(proto Protocol) []TransitionRow {
+	return DeriveTransitionsJobs(proto, 1)
+}
+
+// DeriveTransitionsJobs is DeriveTransitions with the derivation
+// experiments fanned out over a worker pool (each scenario builds its own
+// two-cache system, so they are independent). The returned table is
+// identical for every job count: results are collected by scenario index,
+// not completion order, before the canonical sort.
+func DeriveTransitionsJobs(proto Protocol, jobs int) []TransitionRow {
 	type scenario struct {
 		local  State
 		remote string // "-", "S", "SM", "EC", "EM"
@@ -67,7 +77,14 @@ func DeriveTransitions(proto Protocol) []TransitionRow {
 	}
 	ops := []string{"R", "W", "DW", "ER", "RP", "RI", "LR"}
 
-	var rows []TransitionRow
+	// Flatten the scenario×op grid so each cell is one independent
+	// experiment with a fixed slot; the pool fills slots in any order.
+	type cell struct {
+		local  State
+		remote string
+		op     string
+	}
+	var cells []cell
 	for _, sc := range scenarios {
 		for _, op := range ops {
 			if proto == ProtocolWriteThrough && (sc.local == SM || sc.local == EM ||
@@ -77,9 +94,30 @@ func DeriveTransitions(proto Protocol) []TransitionRow {
 			if proto == ProtocolIllinois && (sc.local == SM || sc.remote == "SM") {
 				continue // SM is unreachable under Illinois
 			}
-			if row, ok := deriveOne(proto, sc.local, sc.remote, op); ok {
-				rows = append(rows, row)
-			}
+			cells = append(cells, cell{sc.local, sc.remote, op})
+		}
+	}
+	derived := make([]TransitionRow, len(cells))
+	ok := make([]bool, len(cells))
+	if par.Jobs(jobs) <= 1 {
+		for i, c := range cells {
+			derived[i], ok[i] = deriveOne(proto, c.local, c.remote, c.op)
+		}
+	} else {
+		pool := par.New(jobs)
+		for i, c := range cells {
+			i, c := i, c
+			pool.Go(func() error {
+				derived[i], ok[i] = deriveOne(proto, c.local, c.remote, c.op)
+				return nil
+			})
+		}
+		pool.Wait()
+	}
+	var rows []TransitionRow
+	for i := range cells {
+		if ok[i] {
+			rows = append(rows, derived[i])
 		}
 	}
 	sort.SliceStable(rows, func(i, j int) bool {

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -121,6 +122,21 @@ func TestTransitionsFormat(t *testing.T) {
 		}
 		if r.Cycles > 0 && r.BusOps == "-" {
 			t.Errorf("cycles %d with no bus ops: %+v", r.Cycles, r)
+		}
+	}
+}
+
+// TestDeriveTransitionsJobsIdentical checks that the parallel derivation
+// produces exactly the serial table for every protocol: rows are slotted
+// by scenario index before the canonical sort, so worker scheduling can
+// never reorder or drop a transition.
+func TestDeriveTransitionsJobsIdentical(t *testing.T) {
+	for _, proto := range []Protocol{ProtocolPIM, ProtocolIllinois, ProtocolWriteThrough} {
+		serial := DeriveTransitions(proto)
+		parallel := DeriveTransitionsJobs(proto, 8)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("%v: parallel derivation differs\nserial:\n%s\nparallel:\n%s",
+				proto, FormatTransitions(serial), FormatTransitions(parallel))
 		}
 	}
 }

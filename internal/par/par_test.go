@@ -1,0 +1,112 @@
+package par
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestJobs(t *testing.T) {
+	if Jobs(3) != 3 {
+		t.Error("explicit job count not honoured")
+	}
+	if Jobs(0) < 1 || Jobs(-1) < 1 {
+		t.Error("default job count must be at least one")
+	}
+}
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := New(4)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		p.Go(func() error { n.Add(1); return nil })
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 100 {
+		t.Errorf("ran %d tasks, want 100", n.Load())
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const width = 3
+	p := New(width)
+	var cur, max atomic.Int64
+	var mu sync.Mutex
+	for i := 0; i < 50; i++ {
+		p.Go(func() error {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > max.Load() {
+				max.Store(c)
+			}
+			mu.Unlock()
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > width {
+		t.Errorf("observed %d concurrent tasks, pool width %d", m, width)
+	}
+}
+
+func TestPoolErrorReportedAndStopsLaterWork(t *testing.T) {
+	p := New(2)
+	boom := errors.New("boom")
+	p.Go(func() error { return boom })
+	p.Go(func() error { return nil })
+	if err := p.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+	// After a failure the pool is canceled: new submissions are dropped.
+	var ran atomic.Int64
+	p.Go(func() error { ran.Add(1); return nil })
+	if err := p.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("second Wait = %v, want boom", err)
+	}
+	if ran.Load() != 0 {
+		t.Error("task submitted after failure still ran")
+	}
+}
+
+func TestPoolTasksMaySubmitTasks(t *testing.T) {
+	// A width-1 pool must not deadlock when a running task submits
+	// follow-up work (Go must not block on the worker slot).
+	p := New(1)
+	var n atomic.Int64
+	p.Go(func() error {
+		for i := 0; i < 5; i++ {
+			p.Go(func() error { n.Add(1); return nil })
+		}
+		return nil
+	})
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 5 {
+		t.Errorf("follow-up tasks ran %d times, want 5", n.Load())
+	}
+}
+
+func TestPoolCancelDropsPending(t *testing.T) {
+	p := New(1)
+	release := make(chan struct{})
+	var ran atomic.Int64
+	p.Go(func() error { <-release; return nil })
+	for i := 0; i < 10; i++ {
+		p.Go(func() error { ran.Add(1); return nil })
+	}
+	p.Cancel()
+	close(release)
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d pending tasks ran after Cancel", ran.Load())
+	}
+}

@@ -50,7 +50,20 @@ type Recorder struct {
 // NewRecorder makes a recorder for a machine with pes processors and the
 // given memory layout.
 func NewRecorder(pes int, layout mem.Layout) *Recorder {
-	return &Recorder{trace: Trace{PEs: pes, Layout: layout}}
+	return NewRecorderHint(pes, layout, 0)
+}
+
+// NewRecorderHint is NewRecorder with a capacity hint: the ref store is
+// preallocated for about refsHint references, so recording a stream of
+// roughly known length (the harness knows its benchmarks' sizes) does not
+// repeatedly regrow and copy a multi-hundred-megabyte backing array. A
+// hint of zero (or a low hint) is safe — the store still grows on demand.
+func NewRecorderHint(pes int, layout mem.Layout, refsHint int) *Recorder {
+	r := &Recorder{trace: Trace{PEs: pes, Layout: layout}}
+	if refsHint > 0 {
+		r.trace.Refs = make([]Ref, 0, refsHint)
+	}
+	return r
 }
 
 // Trace returns the recorded stream.
@@ -128,10 +141,59 @@ func (p *recordingPort) ReadInvalidate(a word.Addr) word.Word {
 // Replay drives a trace through the ports of a machine-like set of
 // accessors (one per PE). It returns an error if a lock operation blocks,
 // which would indicate the trace is not a legal serialized stream.
+//
+// Replay is the harness's hot path: a full evaluation replays each
+// benchmark's stream dozens of times (configuration sweeps), so when
+// every port is a concrete *cache.Cache — the case for all machine-backed
+// replays — the loop dispatches on the concrete type, avoiding an
+// interface-method call per reference.
 func Replay(t *Trace, ports []mem.Accessor) error {
 	if len(ports) < t.PEs {
 		return fmt.Errorf("trace: need %d ports, have %d", t.PEs, len(ports))
 	}
+	caches := make([]*cache.Cache, t.PEs)
+	for i := 0; i < t.PEs; i++ {
+		c, ok := ports[i].(*cache.Cache)
+		if !ok {
+			return replayGeneric(t, ports)
+		}
+		caches[i] = c
+	}
+	refs := t.Refs
+	for i := range refs {
+		ref := &refs[i]
+		port := caches[ref.PE]
+		switch ref.Op {
+		case cache.OpR:
+			port.Read(ref.Addr)
+		case cache.OpW:
+			port.Write(ref.Addr, 0)
+		case cache.OpLR:
+			if _, ok := port.LockRead(ref.Addr); !ok {
+				return fmt.Errorf("trace: ref %d: LR %#x blocked during replay", i, ref.Addr)
+			}
+		case cache.OpUW:
+			port.UnlockWrite(ref.Addr, 0)
+		case cache.OpU:
+			port.Unlock(ref.Addr)
+		case cache.OpDW:
+			port.DirectWrite(ref.Addr, 0)
+		case cache.OpER:
+			port.ExclusiveRead(ref.Addr)
+		case cache.OpRP:
+			port.ReadPurge(ref.Addr)
+		case cache.OpRI:
+			port.ReadInvalidate(ref.Addr)
+		default:
+			return fmt.Errorf("trace: ref %d: unknown op %d", i, ref.Op)
+		}
+	}
+	return nil
+}
+
+// replayGeneric is the interface-dispatch path for non-cache accessors
+// (e.g. mem.DirectAccessor in tests).
+func replayGeneric(t *Trace, ports []mem.Accessor) error {
 	for i, ref := range t.Refs {
 		port := ports[ref.PE]
 		switch ref.Op {

@@ -277,7 +277,8 @@ func Benchmarks() []string {
 
 // Evaluation regenerates the paper's full evaluation (Tables 1-5,
 // Figures 1-3 and the in-text experiments) and returns it as text. With
-// quick set, reduced benchmark scales are used.
+// quick set, reduced benchmark scales are used. The collection fans out
+// over all CPU cores; the output is identical to a serial run.
 func Evaluation(quick bool) (string, error) {
 	o := bench.DefaultOptions()
 	o.Quick = quick
@@ -285,19 +286,5 @@ func Evaluation(quick bool) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	out := bench.Table1(d).String() + "\n" +
-		bench.Table2(d).String() + "\n" +
-		bench.Table3(d).String() + "\n" +
-		bench.Table4(d).String() + "\n" +
-		bench.Table5(d).String() + "\n"
-	f1m, f1t := bench.Figure1(d)
-	f2m, f2t := bench.Figure2(d)
-	f3t, f3s := bench.Figure3(d)
-	out += f1m.String() + "\n" + f1t.String() + "\n" +
-		f2m.String() + "\n" + f2t.String() + "\n" +
-		f3t.String() + "\n" + f3s.String() + "\n" +
-		bench.ExtraBusWidth(d).String() + "\n" +
-		bench.ExtraOptDetail(d).String() + "\n" +
-		bench.ExtraIllinois(d).String()
-	return out, nil
+	return bench.RenderAll(d), nil
 }
