@@ -11,6 +11,7 @@
 package pimcache
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"pimcache/internal/kl1/word"
 	"pimcache/internal/mem"
 	"pimcache/internal/stats"
+	"pimcache/internal/synth"
 )
 
 var evalData struct {
@@ -424,6 +426,39 @@ func BenchmarkReplayThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+}
+
+// BenchmarkReplayPEs measures trace-replay throughput as the cluster
+// scales, with the bus presence filters on (the default) and off (the
+// pre-filter baseline, every transaction polling every PE). The workload
+// is the OR-parallel synthetic stream — shared program reads, private
+// bindings, a locked task queue and cross-worker task copying — whose
+// mix of mostly-private blocks and rare locks is exactly what the
+// filters exploit: each snoop and lock poll shrinks from O(PEs) to
+// O(actual holders), so the filtered/unfiltered gap widens with PE
+// count. docs/eval_snapshot.txt records the measured speedups.
+func BenchmarkReplayPEs(b *testing.B) {
+	for _, pes := range []int{1, 4, 8, 16} {
+		sc := synth.DefaultConfig()
+		sc.PEs = pes
+		sc.Events = 200_000
+		tr := synth.ORParallel(sc)
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"filtered", false}, {"unfiltered", true}} {
+			cfg := bench.BaseCache(cache.OptionsAll())
+			cfg.DisableBusFilters = mode.disable
+			b.Run(fmt.Sprintf("pes=%d/%s", pes, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := bench.ReplayConfig(tr, cfg, bus.DefaultTiming()); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+			})
+		}
+	}
 }
 
 // BenchmarkSimulateRecordPuzzle is BenchmarkSimulatePuzzle with trace

@@ -58,6 +58,11 @@ type Options struct {
 	// share only read-only traces, and results are assembled by job
 	// identity, never by completion order.
 	Jobs int
+	// DisableBusFilters runs every simulation with the bus presence
+	// filters off (full broadcast polling). Results are identical either
+	// way — the flag exists for the filter-equivalence oracle and as the
+	// benchmark baseline.
+	DisableBusFilters bool
 }
 
 // DefaultOptions mirrors the paper's evaluation.
@@ -121,6 +126,13 @@ func Layout() mem.Layout {
 func BaseCache(opts cache.Options) cache.Config {
 	cfg := cache.DefaultConfig()
 	cfg.Options = opts
+	return cfg
+}
+
+// baseCache is BaseCache with the options' simulator knobs applied.
+func (o Options) baseCache(opts cache.Options) cache.Config {
+	cfg := BaseCache(opts)
+	cfg.DisableBusFilters = o.DisableBusFilters
 	return cfg
 }
 
@@ -335,7 +347,7 @@ func collectSerial(o Options) (*Data, error) {
 		for _, pes := range o.PESweep {
 			progress("live run on %d PEs (scale %d)", pes, scale)
 			record := pes == o.PEs
-			rd, t, err := RunLive(b, scale, pes, BaseCache(cache.OptionsAll()), record)
+			rd, t, err := RunLive(b, scale, pes, o.baseCache(cache.OptionsAll()), record)
 			if err != nil {
 				return nil, err
 			}
@@ -351,7 +363,7 @@ func collectSerial(o Options) (*Data, error) {
 		// Table 4 variants.
 		for _, v := range OptVariants {
 			progress("replay %s (%d refs)", v.Name, tr.Len())
-			bs, cs, err := ReplayConfig(tr, BaseCache(v.Opts), bus.DefaultTiming())
+			bs, cs, err := ReplayConfig(tr, o.baseCache(v.Opts), bus.DefaultTiming())
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", b.Name, v.Name, err)
 			}
@@ -362,7 +374,7 @@ func collectSerial(o Options) (*Data, error) {
 			// Figure 1: block sizes.
 			for _, bw := range o.BlockSizes {
 				progress("replay block=%d", bw)
-				cfg := BaseCache(cache.OptionsAll())
+				cfg := o.baseCache(cache.OptionsAll())
 				cfg.BlockWords = bw
 				bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
 				if err != nil {
@@ -376,7 +388,7 @@ func collectSerial(o Options) (*Data, error) {
 			// Figure 2: capacities.
 			for _, size := range o.Capacities {
 				progress("replay capacity=%d", size)
-				cfg := BaseCache(cache.OptionsAll())
+				cfg := o.baseCache(cache.OptionsAll())
 				cfg.SizeWords = size
 				bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
 				if err != nil {
@@ -390,7 +402,7 @@ func collectSerial(o Options) (*Data, error) {
 			// Associativity ablation (Section 4.3).
 			for _, ways := range o.Associativities {
 				progress("replay ways=%d", ways)
-				cfg := BaseCache(cache.OptionsAll())
+				cfg := o.baseCache(cache.OptionsAll())
 				cfg.Ways = ways
 				bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
 				if err != nil {
@@ -402,7 +414,7 @@ func collectSerial(o Options) (*Data, error) {
 			}
 			// Two-word bus (Section 4.4).
 			progress("replay two-word bus")
-			w2, _, err := ReplayConfig(tr, BaseCache(cache.OptionsAll()),
+			w2, _, err := ReplayConfig(tr, o.baseCache(cache.OptionsAll()),
 				bus.Timing{MemCycles: 8, WidthWords: 2})
 			if err != nil {
 				return nil, err
@@ -410,7 +422,7 @@ func collectSerial(o Options) (*Data, error) {
 			bd.Width2 = w2
 			// Illinois baseline (Section 3.1).
 			progress("replay Illinois")
-			ill := BaseCache(cache.OptionsNone())
+			ill := o.baseCache(cache.OptionsNone())
 			ill.Protocol = cache.ProtocolIllinois
 			ibs, _, err := ReplayConfig(tr, ill, bus.DefaultTiming())
 			if err != nil {
@@ -419,7 +431,7 @@ func collectSerial(o Options) (*Data, error) {
 			bd.Illinois = ibs
 			// Write-through baseline (Section 3 premise).
 			progress("replay write-through")
-			wt := BaseCache(cache.OptionsNone())
+			wt := o.baseCache(cache.OptionsNone())
 			wt.Protocol = cache.ProtocolWriteThrough
 			wbs, _, err := ReplayConfig(tr, wt, bus.DefaultTiming())
 			if err != nil {
@@ -439,6 +451,7 @@ func mergeDefaults(o Options) Options {
 	d.Benchmarks = o.Benchmarks
 	d.Progress = o.Progress
 	d.Jobs = o.Jobs
+	d.DisableBusFilters = o.DisableBusFilters
 	if o.PESweep != nil {
 		d.PESweep = o.PESweep
 	}

@@ -153,7 +153,7 @@ func submitLiveJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState, 
 		record := i == recordIdx
 		pool.Go(func() error {
 			pw.Printf(st.bench.Name, "live run on %d PEs (scale %d)", pes, st.scale)
-			rd, tr, err := RunLive(st.bench, st.scale, pes, BaseCache(cache.OptionsAll()), record)
+			rd, tr, err := RunLive(st.bench, st.scale, pes, o.baseCache(cache.OptionsAll()), record)
 			if err != nil {
 				return err
 			}
@@ -189,7 +189,7 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 	for i, v := range OptVariants {
 		i, v := i, v
 		replay(v.Name, func(tr *trace.Trace) error {
-			bs, cs, err := ReplayConfig(tr, BaseCache(v.Opts), bus.DefaultTiming())
+			bs, cs, err := ReplayConfig(tr, o.baseCache(v.Opts), bus.DefaultTiming())
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", name, v.Name, err)
 			}
@@ -203,7 +203,7 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 	for i, bw := range o.BlockSizes {
 		i, bw := i, bw
 		replay(fmt.Sprintf("block=%d", bw), func(tr *trace.Trace) error {
-			cfg := BaseCache(cache.OptionsAll())
+			cfg := o.baseCache(cache.OptionsAll())
 			cfg.BlockWords = bw
 			bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
 			if err != nil {
@@ -219,7 +219,7 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 	for i, size := range o.Capacities {
 		i, size := i, size
 		replay(fmt.Sprintf("capacity=%d", size), func(tr *trace.Trace) error {
-			cfg := BaseCache(cache.OptionsAll())
+			cfg := o.baseCache(cache.OptionsAll())
 			cfg.SizeWords = size
 			bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
 			if err != nil {
@@ -235,7 +235,7 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 	for i, ways := range o.Associativities {
 		i, ways := i, ways
 		replay(fmt.Sprintf("ways=%d", ways), func(tr *trace.Trace) error {
-			cfg := BaseCache(cache.OptionsAll())
+			cfg := o.baseCache(cache.OptionsAll())
 			cfg.Ways = ways
 			bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
 			if err != nil {
@@ -248,7 +248,7 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 		})
 	}
 	replay("two-word bus", func(tr *trace.Trace) error {
-		bs, _, err := ReplayConfig(tr, BaseCache(cache.OptionsAll()),
+		bs, _, err := ReplayConfig(tr, o.baseCache(cache.OptionsAll()),
 			bus.Timing{MemCycles: 8, WidthWords: 2})
 		if err != nil {
 			return err
@@ -257,7 +257,7 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 		return nil
 	})
 	replay("Illinois", func(tr *trace.Trace) error {
-		cfg := BaseCache(cache.OptionsNone())
+		cfg := o.baseCache(cache.OptionsNone())
 		cfg.Protocol = cache.ProtocolIllinois
 		bs, _, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
 		if err != nil {
@@ -267,7 +267,7 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 		return nil
 	})
 	replay("write-through", func(tr *trace.Trace) error {
-		cfg := BaseCache(cache.OptionsNone())
+		cfg := o.baseCache(cache.OptionsNone())
 		cfg.Protocol = cache.ProtocolWriteThrough
 		bs, _, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
 		if err != nil {

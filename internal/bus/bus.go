@@ -13,6 +13,7 @@ package bus
 
 import (
 	"fmt"
+	"math/bits"
 
 	"pimcache/internal/kl1/word"
 	"pimcache/internal/mem"
@@ -219,7 +220,10 @@ type FetchResult struct {
 	// transaction was aborted with no state changes and the requester
 	// must busy-wait for the matching UL.
 	LockHit bool
-	// Data is the fetched block (nil when LockHit).
+	// Data is the fetched block (nil when LockHit). It aliases a buffer
+	// owned by the bus and is valid only until the next bus transaction:
+	// callers must copy out what they keep (which models the hardware —
+	// the data exists on the bus wires only for the transfer cycles).
 	Data []word.Word
 	// FromCache reports a cache-to-cache transfer.
 	FromCache bool
@@ -233,9 +237,22 @@ type FetchResult struct {
 	Shared bool
 }
 
+// MaxPEs bounds the number of attachable PEs; the presence filter keys
+// one bit per PE in a 64-bit holder mask.
+const MaxPEs = 64
+
 // Bus is the common bus. It serializes all transactions (the simulated
 // machine is stepped deterministically, so no Go-level locking is needed)
 // and owns cycle accounting.
+//
+// The bus also maintains two presence filters — a block-residency map
+// (block base → holder PE bitmask) kept current by the caches through
+// BlockInstalled/BlockDropped, and per-PE held-lock counts kept current
+// through LockAcquired/LockReleased. They make every snoop and lock poll
+// O(actual holders) instead of O(PEs), which is a simulator-host
+// acceleration only: filtered and unfiltered runs produce identical
+// simulated statistics (the modelled hardware broadcasts either way, and
+// cycle accounting never depended on the number of polled units).
 type Bus struct {
 	timing     Timing
 	blockWords int
@@ -244,12 +261,26 @@ type Bus struct {
 	snoopers   []Snooper
 	lockUnits  []LockUnit
 	stats      Stats
+
+	// Presence filters and the reusable fetch buffer (see type comment).
+	noFilters  bool
+	presence   map[word.Addr]uint64
+	lockCounts []uint32
+	totalLocks int
+	allMask    uint64
+	blockBuf   []word.Word
 }
 
 // Config parameterizes a bus.
 type Config struct {
 	Timing     Timing
 	BlockWords int
+	// DisableFilters turns off the snoop and lock presence filters so
+	// every transaction polls every attached unit, as real broadcast
+	// hardware does. Simulated results are identical either way; the
+	// unfiltered path exists as the equivalence oracle and benchmark
+	// baseline.
+	DisableFilters bool
 }
 
 // New creates a bus over the given shared memory.
@@ -265,6 +296,9 @@ func New(cfg Config, memory *mem.Memory) *Bus {
 		blockWords: cfg.BlockWords,
 		memory:     memory,
 		areaOf:     memory.AreaOf,
+		noFilters:  cfg.DisableFilters,
+		presence:   make(map[word.Addr]uint64),
+		blockBuf:   make([]word.Word, cfg.BlockWords),
 	}
 }
 
@@ -274,8 +308,93 @@ func (b *Bus) Attach(p int, s Snooper, l LockUnit) {
 	if p != len(b.snoopers) {
 		panic(fmt.Sprintf("bus: PE %d attached out of order", p))
 	}
+	if p >= MaxPEs {
+		panic(fmt.Sprintf("bus: PE %d exceeds the %d-PE presence-filter limit", p, MaxPEs))
+	}
 	b.snoopers = append(b.snoopers, s)
 	b.lockUnits = append(b.lockUnits, l)
+	b.lockCounts = append(b.lockCounts, 0)
+	b.allMask |= 1 << uint(p)
+}
+
+// --- presence-filter notification API (called by the caches) ---
+
+// BlockInstalled records that pe's cache now holds a valid copy of the
+// block based at base. Caches must call it on every INV→valid transition
+// (fetch install, direct-write allocation) with the block's base address.
+func (b *Bus) BlockInstalled(pe int, base word.Addr) {
+	b.presence[base] |= 1 << uint(pe)
+}
+
+// BlockDropped records that pe's cache no longer holds the block based at
+// base. Caches must call it on every valid→INV transition (eviction,
+// remote invalidation, ER/RP purge, flush).
+func (b *Bus) BlockDropped(pe int, base word.Addr) {
+	m := b.presence[base] &^ (1 << uint(pe))
+	if m == 0 {
+		delete(b.presence, base)
+	} else {
+		b.presence[base] = m
+	}
+}
+
+// LockAcquired records that pe's lock directory registered one more held
+// lock; LockReleased undoes it. The counts let lock polls skip PEs that
+// hold no locks at all — the common case, since KL1 locks are brief and
+// rare (Section 3.1).
+func (b *Bus) LockAcquired(pe int) {
+	b.lockCounts[pe]++
+	b.totalLocks++
+}
+
+// LockReleased records that pe's lock directory released one held lock.
+func (b *Bus) LockReleased(pe int) {
+	if b.lockCounts[pe] == 0 {
+		panic(fmt.Sprintf("bus: lock release underflow on PE %d", pe))
+	}
+	b.lockCounts[pe]--
+	b.totalLocks--
+}
+
+// HolderMask returns the presence filter's holder bitmask for the block
+// containing addr (bit i set = PE i holds a copy). Tests cross-check it
+// against ScanHolders.
+func (b *Bus) HolderMask(addr word.Addr) uint64 {
+	return b.presence[b.blockBase(addr)]
+}
+
+// ScanHolders polls every attached snooper's Holds for addr's block and
+// returns the equivalent bitmask; it is the unfiltered ground truth the
+// presence filter must always agree with.
+func (b *Bus) ScanHolders(addr word.Addr) uint64 {
+	var m uint64
+	for i, s := range b.snoopers {
+		if s != nil && s.Holds(addr) {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// LockCount reports the lock filter's held-lock count for PE pe.
+func (b *Bus) LockCount(pe int) int { return int(b.lockCounts[pe]) }
+
+// TotalLockCount reports the lock filter's global held-lock count.
+func (b *Bus) TotalLockCount() int { return b.totalLocks }
+
+// remoteMask returns the bitmask of PEs the bus must snoop for the block
+// based at base on behalf of requester: every other attached PE when the
+// filters are off, only the actual remote holders when they are on.
+func (b *Bus) remoteMask(requester int, base word.Addr) uint64 {
+	if b.noFilters {
+		return b.allMask &^ (1 << uint(requester))
+	}
+	return b.presence[base] &^ (1 << uint(requester))
+}
+
+// remoteLocks counts locks held by PEs other than requester.
+func (b *Bus) remoteLocks(requester int) int {
+	return b.totalLocks - int(b.lockCounts[requester])
 }
 
 // PEs reports the number of attached processors.
@@ -314,11 +433,20 @@ func (b *Bus) account(p Pattern, a word.Addr) {
 }
 
 // lockHit polls remote lock directories for a lock on exactly addr,
-// recording the waiter on a hit.
+// recording the waiter on a hit. With the lock filter on, the poll
+// returns immediately when no remote PE holds any lock and otherwise
+// visits only PEs with nonzero held-lock counts — a directory with no
+// entries can neither hit nor change state, so skipping it is exact.
 func (b *Bus) lockHit(requester int, addr word.Addr) bool {
+	if !b.noFilters && b.remoteLocks(requester) == 0 {
+		return false
+	}
 	hit := false
 	for i, lu := range b.lockUnits {
 		if i == requester || lu == nil {
+			continue
+		}
+		if !b.noFilters && b.lockCounts[i] == 0 {
 			continue
 		}
 		if lu.CheckLocked(addr) {
@@ -333,10 +461,18 @@ func (b *Bus) lockHit(requester int, addr word.Addr) bool {
 
 // lockedBlockElsewhere reports whether any remote PE holds a lock on any
 // word of addr's block; such blocks are granted shared, never exclusive.
+// Filtered the same way as lockHit (LocksInBlock has no side effects, so
+// skipping lock-free PEs is trivially exact).
 func (b *Bus) lockedBlockElsewhere(requester int, addr word.Addr) bool {
+	if !b.noFilters && b.remoteLocks(requester) == 0 {
+		return false
+	}
 	base := b.blockBase(addr)
 	for i, lu := range b.lockUnits {
 		if i == requester || lu == nil {
+			continue
+		}
+		if !b.noFilters && b.lockCounts[i] == 0 {
 			continue
 		}
 		if lu.LocksInBlock(base, b.blockWords) {
@@ -350,7 +486,8 @@ func (b *Bus) lockedBlockElsewhere(requester int, addr word.Addr) bool {
 // the block containing addr, on behalf of requester. victimDirty reports
 // whether the requester must also write back a dirty victim, which
 // selects the with-swap-out pattern. withLock adds an LK broadcast (the
-// LR operation). The returned data is a copy owned by the caller.
+// LR operation). The returned data aliases a bus-owned buffer valid only
+// until the next transaction (see FetchResult.Data).
 func (b *Bus) Fetch(requester int, addr word.Addr, inval, victimDirty, withLock bool) FetchResult {
 	if withLock {
 		b.stats.Commands[CmdLK]++
@@ -381,8 +518,13 @@ func (b *Bus) fetch(requester int, addr word.Addr, inval, victimDirty bool) Fetc
 
 	base := b.blockBase(addr)
 	var res FetchResult
-	for i, s := range b.snoopers {
-		if i == requester || s == nil {
+	// Visit the (filtered) snoop set in ascending PE order — the same
+	// order the unfiltered scan used, so supplier selection is identical.
+	// Snoopers invalidated mid-loop mutate b.presence; m is a local copy,
+	// so the iteration is unaffected.
+	for m := b.remoteMask(requester, base); m != 0; m &= m - 1 {
+		s := b.snoopers[bits.TrailingZeros64(m)]
+		if s == nil {
 			continue
 		}
 		data, held, dirty, retained := s.SnoopFetch(addr, inval)
@@ -391,16 +533,14 @@ func (b *Bus) fetch(requester int, addr word.Addr, inval, victimDirty bool) Fetc
 		}
 		b.stats.Commands[CmdH]++
 		if res.Data == nil {
-			res.Data = append([]word.Word(nil), data...)
+			res.Data = append(b.blockBuf[:0], data...)
 			res.FromCache = true
 		}
 		if dirty {
+			// The dirty copy wins: at most one modified copy exists under
+			// either protocol, and it is the authoritative one.
 			res.SupplierDirty = true
-			if res.Data != nil && data != nil {
-				// Prefer the dirty copy: with the PIM protocol at most
-				// one modified copy exists, and it is the valid one.
-				res.Data = append(res.Data[:0], data...)
-			}
+			res.Data = append(res.Data[:0], data...)
 		}
 		if retained {
 			res.Shared = true
@@ -408,7 +548,7 @@ func (b *Bus) fetch(requester int, addr word.Addr, inval, victimDirty bool) Fetc
 	}
 	if res.Data == nil {
 		// No cache held the block: shared memory supplies it.
-		res.Data = make([]word.Word, b.blockWords)
+		res.Data = b.blockBuf[:b.blockWords]
 		b.memory.ReadBlock(base, res.Data)
 		if victimDirty {
 			b.account(PatSwapInMemSwapOut, addr)
@@ -443,8 +583,12 @@ func (b *Bus) RemoteLockInBlock(requester int, addr word.Addr) bool {
 // RemoteHolder reports whether any cache other than requester holds a
 // valid copy of the block containing addr. This is the snoop-result peek
 // the cache controller uses to select among the ER and RP sub-behaviours
-// before committing to a bus command.
+// before committing to a bus command. With the presence filter it is one
+// map probe; unfiltered it polls every snooper.
 func (b *Bus) RemoteHolder(requester int, addr word.Addr) bool {
+	if !b.noFilters {
+		return b.presence[b.blockBase(addr)]&^(1<<uint(requester)) != 0
+	}
 	for i, s := range b.snoopers {
 		if i == requester || s == nil {
 			continue
@@ -480,11 +624,12 @@ func (b *Bus) ForceInvalidate(requester int, addr word.Addr) {
 func (b *Bus) invalidate(requester int, addr word.Addr) {
 	b.stats.Commands[CmdI]++
 	b.account(PatInval, addr)
-	for i, s := range b.snoopers {
-		if i == requester || s == nil {
-			continue
+	// SnoopInvalidate is a no-op on non-holders, so visiting only the
+	// filtered holder set is exact.
+	for m := b.remoteMask(requester, b.blockBase(addr)); m != 0; m &= m - 1 {
+		if s := b.snoopers[bits.TrailingZeros64(m)]; s != nil {
+			s.SnoopInvalidate(addr)
 		}
-		s.SnoopInvalidate(addr)
 	}
 }
 
@@ -520,17 +665,19 @@ func (b *Bus) MemoryWriteBack(base word.Addr, data []word.Word) {
 func (b *Bus) WordWrite(requester int, addr word.Addr, w word.Word) {
 	b.memory.Write(addr, w)
 	b.account(PatWordWrite, addr)
-	for i, s := range b.snoopers {
-		if i == requester || s == nil {
-			continue
+	for m := b.remoteMask(requester, b.blockBase(addr)); m != 0; m &= m - 1 {
+		if s := b.snoopers[bits.TrailingZeros64(m)]; s != nil {
+			s.SnoopInvalidate(addr)
 		}
-		s.SnoopInvalidate(addr)
 	}
 }
 
 // Unlock broadcasts UL for addr, waking busy-waiting PEs. The paper's
 // optimization — suppressing the broadcast when no PE waits — is decided
 // by the caller (the lock directory), so every call here costs cycles.
+// The broadcast is never filtered: the PEs that must observe it are the
+// busy-waiters, which by definition hold no locks and no copy of the
+// block, so neither presence filter can name them.
 func (b *Bus) Unlock(requester int, addr word.Addr) {
 	b.stats.Commands[CmdUL]++
 	b.account(PatUnlock, addr)

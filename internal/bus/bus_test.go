@@ -129,7 +129,10 @@ func (f *fakeLockUnit) ObserveUnlock(a word.Addr) { f.unlocked = append(f.unlock
 
 func newTestBus(t *testing.T, peers int) (*Bus, []*fakeSnooper, []*fakeLockUnit) {
 	t.Helper()
-	b := New(Config{Timing: DefaultTiming(), BlockWords: 4}, testMemory())
+	// The fakes set holds/locked directly without notifying the presence
+	// filters, so these tests exercise the unfiltered broadcast paths.
+	// filter_test.go covers the filtered ones with notifying fakes.
+	b := New(Config{Timing: DefaultTiming(), BlockWords: 4, DisableFilters: true}, testMemory())
 	snoops := make([]*fakeSnooper, peers)
 	locks := make([]*fakeLockUnit, peers)
 	for i := 0; i < peers; i++ {

@@ -132,6 +132,25 @@ func (c *Cache) victimFor(a word.Addr) *line {
 	return victim
 }
 
+// install marks l as holding the block based at base in state st and
+// notifies the bus presence filter. Every INV→valid transition must go
+// through it (the filter's exactness is what makes filtered snooping
+// equivalent to the full scan).
+func (c *Cache) install(l *line, base word.Addr, st State) {
+	l.base = base
+	l.state = st
+	c.bus.BlockInstalled(c.pe, base)
+}
+
+// drop invalidates l, notifying the bus presence filter. It is a no-op
+// on an already-invalid line.
+func (c *Cache) drop(l *line) {
+	if l.state.Valid() {
+		c.bus.BlockDropped(c.pe, l.base)
+		l.state = INV
+	}
+}
+
 // evict writes back a dirty victim through the hidden path (its bus cost
 // is folded into the with-swap-out fetch pattern chosen by the caller).
 func (c *Cache) evictHidden(v *line) {
@@ -139,7 +158,7 @@ func (c *Cache) evictHidden(v *line) {
 		c.bus.SwapOutHidden(v.base, v.data)
 		c.stats.SwapOuts++
 	}
-	v.state = INV
+	c.drop(v)
 }
 
 // fetchInto performs the bus fetch for a (F when inval is false, FI when
@@ -161,27 +180,28 @@ func (c *Cache) fetchInto(a word.Addr, inval bool) *line {
 		res = c.bus.FetchForced(c.pe, a, inval, vdirty)
 	}
 	c.evictHidden(victim)
-	victim.base = c.blockBase(a)
 	copy(victim.data, res.Data)
+	var st State
 	switch {
 	case inval && res.Shared:
 		// A remote lock in this block denies exclusivity (see
 		// Bus.RemoteLockInBlock); a dirty supply still transfers
 		// write-back ownership.
 		if res.SupplierDirty {
-			victim.state = SM
+			st = SM
 		} else {
-			victim.state = S
+			st = S
 		}
 	case inval && res.SupplierDirty:
-		victim.state = EM
+		st = EM
 	case inval:
-		victim.state = EC
+		st = EC
 	case res.FromCache || res.Shared:
-		victim.state = S
+		st = S
 	default:
-		victim.state = EC
+		st = EC
 	}
+	c.install(victim, c.blockBase(a), st)
 	c.touch(victim)
 	return victim
 }
@@ -305,12 +325,12 @@ func (c *Cache) DirectWrite(a word.Addr, w word.Word) {
 		c.bus.SwapOut(victim.base, victim.data)
 		c.stats.SwapOuts++
 	}
-	victim.state = EM
-	victim.base = c.blockBase(a)
+	c.drop(victim)
 	for i := range victim.data {
 		victim.data[i] = 0
 	}
 	victim.data[a&c.offMask] = w
+	c.install(victim, c.blockBase(a), EM)
 	c.touch(victim)
 }
 
@@ -341,7 +361,7 @@ func (c *Cache) ExclusiveRead(a word.Addr) word.Word {
 			if l.state.Dirty() {
 				c.stats.PurgedDirty++
 			}
-			l.state = INV
+			c.drop(l)
 			c.stats.ERPurge++
 		} else {
 			c.stats.ERDegraded++
@@ -381,7 +401,7 @@ func (c *Cache) ReadPurge(a word.Addr) word.Word {
 		if l.state.Dirty() {
 			c.stats.PurgedDirty++
 		}
-		l.state = INV
+		c.drop(l)
 		c.stats.RPApplied++
 		return v
 	}
@@ -449,7 +469,7 @@ func (c *Cache) LockRead(a word.Addr) (word.Word, bool) {
 			// No other cache can hold the block, hence no other PE can
 			// hold a lock on it: acquire with zero bus cycles.
 			c.stats.LRHitExclusive++
-			c.dir.acquire(a)
+			c.acquireLock(a)
 			return l.data[a&c.offMask], true
 		}
 		// Shared hit: LK + I to take ownership. The block upgrades to an
@@ -466,7 +486,7 @@ func (c *Cache) LockRead(a word.Addr) (word.Word, bool) {
 				l.state = EC
 			}
 		}
-		c.dir.acquire(a)
+		c.acquireLock(a)
 		return l.data[a&c.offMask], true
 	}
 	c.stats.Misses[OpLR]++
@@ -478,21 +498,28 @@ func (c *Cache) LockRead(a word.Addr) (word.Word, bool) {
 		return 0, false
 	}
 	c.evictHidden(victim)
-	victim.base = c.blockBase(a)
 	copy(victim.data, res.Data)
+	var st State
 	switch {
 	case res.Shared && res.SupplierDirty:
-		victim.state = SM // a remote lock elsewhere in the block denies exclusivity
+		st = SM // a remote lock elsewhere in the block denies exclusivity
 	case res.Shared:
-		victim.state = S
+		st = S
 	case res.SupplierDirty:
-		victim.state = EM
+		st = EM
 	default:
-		victim.state = EC
+		st = EC
 	}
+	c.install(victim, c.blockBase(a), st)
 	c.touch(victim)
-	c.dir.acquire(a)
+	c.acquireLock(a)
 	return victim.data[a&c.offMask], true
+}
+
+// acquireLock registers a lock on a and updates the bus lock filter.
+func (c *Cache) acquireLock(a word.Addr) {
+	c.dir.acquire(a)
+	c.bus.LockAcquired(c.pe)
 }
 
 func (c *Cache) beginBusyWait(a word.Addr) {
@@ -517,7 +544,9 @@ func (c *Cache) Unlock(a word.Addr) {
 }
 
 func (c *Cache) releaseLock(a word.Addr) {
-	if c.dir.release(a) {
+	hadWaiter := c.dir.release(a)
+	c.bus.LockReleased(c.pe)
+	if hadWaiter {
 		c.stats.UnlockWaiter++
 		c.bus.Unlock(c.pe, a)
 	} else {
@@ -547,19 +576,16 @@ func (c *Cache) SnoopFetch(a word.Addr, inval bool) (data []word.Word, held, dir
 		// is supplied, so every copy ends up clean. This is exactly the
 		// memory-module pressure the SM state avoids.
 		c.bus.MemoryWriteBack(l.base, l.data)
-		dirty = false
 		if inval {
-			l.state = INV
-		} else {
-			l.state = S
-		}
-		if l.state == INV {
+			c.drop(l)
 			c.stats.Invalidations++
+			return data, true, false, false
 		}
-		return data, true, false, l.state.Valid()
+		l.state = S
+		return data, true, false, true
 	}
 	if inval {
-		l.state = INV
+		c.drop(l)
 		c.stats.Invalidations++
 		return data, true, dirty, false
 	}
@@ -580,7 +606,7 @@ func (c *Cache) SnoopInvalidate(a word.Addr) {
 		// The writer's copy holds identical base content plus its new
 		// store, so a dirty copy dies silently; ownership passes to the
 		// writer, which leaves the I command as EM.
-		l.state = INV
+		c.drop(l)
 		c.stats.Invalidations++
 	}
 }
@@ -617,7 +643,7 @@ func (c *Cache) Flush() {
 			if l.state.Dirty() {
 				c.bus.Memory().WriteBlock(l.base, l.data)
 			}
-			l.state = INV
+			c.drop(l)
 		}
 	}
 }

@@ -125,6 +125,13 @@ type Config struct {
 	// remote cache holds the target block) on every applied DW and
 	// panics on violation. Tests enable it; it models nothing.
 	VerifyDW bool
+	// DisableBusFilters, when set, makes the bus fall back to polling
+	// every attached snooper and lock unit instead of consulting its
+	// presence filters. The filters are a simulator-level acceleration
+	// with identical observable results, so like VerifyDW this knob
+	// models nothing; the equivalence tests and baseline benchmarks
+	// enable it.
+	DisableBusFilters bool
 }
 
 // DefaultConfig is the paper's base cache: 4Kword data, 4-word blocks,

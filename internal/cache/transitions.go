@@ -269,7 +269,7 @@ func busOps(pre, post *bus.Stats) string {
 // scenarios and tests.
 func (c *Cache) SnoopInvalidateSelf(a word.Addr) {
 	if l := c.lookup(a); l != nil {
-		l.state = INV
+		c.drop(l)
 	}
 }
 

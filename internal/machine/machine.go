@@ -94,7 +94,11 @@ func New(cfg Config) *Machine {
 		panic("machine: need at least one PE")
 	}
 	m := mem.New(cfg.Layout)
-	b := bus.New(bus.Config{Timing: cfg.Timing, BlockWords: cfg.Cache.BlockWords}, m)
+	b := bus.New(bus.Config{
+		Timing:         cfg.Timing,
+		BlockWords:     cfg.Cache.BlockWords,
+		DisableFilters: cfg.Cache.DisableBusFilters,
+	}, m)
 	caches := make([]*cache.Cache, cfg.PEs)
 	for i := range caches {
 		caches[i] = cache.New(cfg.Cache, i, b)

@@ -228,8 +228,24 @@ func replayGeneric(t *Trace, ports []mem.Accessor) error {
 
 const magic = "PIMTRACE2\n"
 
+// refBytes is the on-disk size of one reference: PE, op, and four
+// little-endian address bytes.
+const refBytes = 6
+
+// refsPerChunk sizes the serialization buffers: one Write/Read syscall
+// moves up to this many references.
+const refsPerChunk = 4096
+
+// addrEncodable reports whether a fits in the four address bytes of the
+// on-disk ref format. word.Addr is currently 32 bits wide, so every value
+// fits, but the check goes through uint64 so that widening the address
+// type can never silently truncate traces on disk.
+func addrEncodable(a uint64) bool { return a <= 0xFFFFFFFF }
+
 // Write serializes the trace: a magic header, the PE count, the memory
-// layout, the ref count, then 6 bytes per reference.
+// layout, the ref count, then 6 bytes per reference. It fails — rather
+// than corrupt the stream — if any address exceeds the 32-bit on-disk
+// format.
 func (t *Trace) Write(w io.Writer) error {
 	if _, err := io.WriteString(w, magic); err != nil {
 		return err
@@ -245,8 +261,11 @@ func (t *Trace) Write(w io.Writer) error {
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	buf := make([]byte, 0, 6*4096)
+	buf := make([]byte, 0, refBytes*refsPerChunk)
 	for i, ref := range t.Refs {
+		if !addrEncodable(uint64(ref.Addr)) {
+			return fmt.Errorf("trace: ref %d: address %#x exceeds the 32-bit on-disk format", i, uint64(ref.Addr))
+		}
 		buf = append(buf, ref.PE, uint8(ref.Op),
 			byte(ref.Addr), byte(ref.Addr>>8), byte(ref.Addr>>16), byte(ref.Addr>>24))
 		if len(buf) == cap(buf) || i == len(t.Refs)-1 {
@@ -283,16 +302,28 @@ func Read(r io.Reader) (*Trace, error) {
 		},
 		Refs: make([]Ref, binary.LittleEndian.Uint64(hdr[24:])),
 	}
-	buf := make([]byte, 6)
-	for i := range t.Refs {
-		if _, err := io.ReadFull(r, buf); err != nil {
+	// Decode in chunks: one ReadFull per refsPerChunk references instead
+	// of one 6-byte read per reference, which dominates load time for the
+	// multi-hundred-megabyte streams the harness replays.
+	buf := make([]byte, refBytes*refsPerChunk)
+	for i := 0; i < len(t.Refs); {
+		n := len(t.Refs) - i
+		if n > refsPerChunk {
+			n = refsPerChunk
+		}
+		chunk := buf[:n*refBytes]
+		if _, err := io.ReadFull(r, chunk); err != nil {
 			return nil, err
 		}
-		t.Refs[i] = Ref{
-			PE:   buf[0],
-			Op:   cache.Op(buf[1]),
-			Addr: word.Addr(uint32(buf[2]) | uint32(buf[3])<<8 | uint32(buf[4])<<16 | uint32(buf[5])<<24),
+		for j := 0; j < n; j++ {
+			b := chunk[j*refBytes : j*refBytes+refBytes]
+			t.Refs[i+j] = Ref{
+				PE:   b[0],
+				Op:   cache.Op(b[1]),
+				Addr: word.Addr(binary.LittleEndian.Uint32(b[2:6])),
+			}
 		}
+		i += n
 	}
 	return t, nil
 }
