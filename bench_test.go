@@ -24,6 +24,7 @@ import (
 	"pimcache/internal/kl1/parser"
 	"pimcache/internal/kl1/word"
 	"pimcache/internal/mem"
+	"pimcache/internal/probe"
 	"pimcache/internal/stats"
 	"pimcache/internal/synth"
 )
@@ -460,6 +461,44 @@ func BenchmarkReplayPEs(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkReplayProbe measures the telemetry layer's cost on the
+// replay hot path: "off" is the plain nil-sink replay (the emit sites
+// are one untaken branch each, and the probe clock never ticks),
+// "counting" attaches a minimal sink, and "intervals" a real consumer.
+// The off/plain gap is the overhead the zero-overhead-when-nil
+// contract bounds; the enabled rows price the full event stream.
+func BenchmarkReplayProbe(b *testing.B) {
+	sc := synth.DefaultConfig()
+	sc.PEs = 8
+	sc.Events = 200_000
+	tr := synth.ORParallel(sc)
+	cfg := bench.BaseCache(cache.OptionsAll())
+	modes := []struct {
+		name string
+		sink func() probe.Sink
+	}{
+		{"off", func() probe.Sink { return nil }},
+		{"counting", func() probe.Sink { return &countingSink{} }},
+		{"intervals", func() probe.Sink { return probe.NewIntervals(10_000) }},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bench.ReplayConfigProbed(tr, cfg, bus.DefaultTiming(), mode.sink()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+		})
+	}
+}
+
+// countingSink is the cheapest possible consumer: it prices the emit
+// plumbing itself rather than any particular aggregation.
+type countingSink struct{ n uint64 }
+
+func (c *countingSink) Emit(probe.Event) { c.n++ }
 
 // BenchmarkSimulateRecordPuzzle is BenchmarkSimulatePuzzle with trace
 // recording on; with -benchmem it shows the recorder's allocation profile

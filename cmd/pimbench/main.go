@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"pimcache/internal/bench"
+	"pimcache/internal/cliutil"
 )
 
 func main() {
@@ -36,6 +37,10 @@ func main() {
 		jobs    = flag.Int("jobs", 0, "concurrent simulations (0 = all CPU cores, 1 = serial)")
 	)
 	flag.Parse()
+	if err := cliutil.ValidateJobs(*jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(2)
+	}
 
 	o := bench.DefaultOptions()
 	o.Quick = *quick

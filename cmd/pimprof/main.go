@@ -1,0 +1,175 @@
+// Command pimprof replays a recorded memory-reference trace (see
+// pimtrace) against a cache configuration with the probe layer
+// attached, turning the replay into telemetry: a Perfetto timeline,
+// per-interval metrics, and per-block hot-spot rankings.
+//
+// Usage:
+//
+//	pimprof -events tri.json tri.trc              # Perfetto timeline
+//	pimprof -intervals 1000 tri.trc               # interval metrics table
+//	pimprof -intervals 1000 -csv iv.csv tri.trc   # ... and a CSV for plotting
+//	pimprof -hotspots 10 tri.trc                  # most contended blocks
+//	pimprof -block 8 -ways 2 -events x.json tri.trc
+//
+// Because the memory-system event stream of a replay is identical to
+// that of the live run the trace was recorded from (scheduler events
+// excepted), pimprof profiles any configuration against a workload
+// recorded once — no re-emulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pimcache/internal/bench"
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/cliutil"
+	"pimcache/internal/probe"
+	"pimcache/internal/trace"
+)
+
+func main() {
+	var (
+		size      = flag.Int("cache", 4<<10, "cache size in data words")
+		block     = flag.Int("block", 4, "cache block size in words")
+		ways      = flag.Int("ways", 4, "set associativity")
+		optsName  = flag.String("opts", "all", "optimized commands: none, heap, goal, comm, all")
+		protocol  = flag.String("protocol", "pim", "coherence protocol: pim, illinois, writethrough")
+		width     = flag.Int("buswidth", 1, "bus width in words")
+		events    = flag.String("events", "", "write a Perfetto trace-event JSON timeline to this file")
+		intervals = flag.Uint64("intervals", 0, "print interval metrics every N simulated cycles")
+		csvOut    = flag.String("csv", "", "write the interval metrics as CSV to this file (needs -intervals)")
+		hotspots  = flag.Int("hotspots", 0, "print the top-K most contended blocks")
+	)
+	flag.Parse()
+
+	if err := cliutil.ValidateBlock(*block); err != nil {
+		fatal2(err)
+	}
+	if flag.NArg() != 1 {
+		fatal2(fmt.Errorf("one trace file expected (record one with pimtrace)"))
+	}
+	if *csvOut != "" && *intervals == 0 {
+		fatal2(fmt.Errorf("-csv needs -intervals to set the window width"))
+	}
+	if *events == "" && *intervals == 0 && *hotspots == 0 {
+		fatal2(fmt.Errorf("nothing to do: pass -events, -intervals, or -hotspots"))
+	}
+
+	var opts cache.Options
+	switch *optsName {
+	case "none":
+		opts = cache.OptionsNone()
+	case "heap":
+		opts = cache.OptionsHeap()
+	case "goal":
+		opts = cache.OptionsGoal()
+	case "comm":
+		opts = cache.OptionsComm()
+	case "all":
+		opts = cache.OptionsAll()
+	default:
+		fatal2(fmt.Errorf("unknown -opts %q", *optsName))
+	}
+	ccfg := cache.Config{
+		SizeWords: *size, BlockWords: *block, Ways: *ways,
+		LockEntries: 4, Options: opts,
+	}
+	switch *protocol {
+	case "pim":
+	case "illinois":
+		ccfg.Protocol = cache.ProtocolIllinois
+	case "writethrough":
+		ccfg.Protocol = cache.ProtocolWriteThrough
+	default:
+		fatal2(fmt.Errorf("unknown -protocol %q", *protocol))
+	}
+	if err := ccfg.Validate(); err != nil {
+		fatal2(err)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var sinks []probe.Sink
+	var pf *probe.Perfetto
+	var eventsFile *os.File
+	if *events != "" {
+		ef, err := os.Create(*events)
+		if err != nil {
+			fatal(err)
+		}
+		eventsFile = ef
+		pf = probe.NewPerfetto(ef, tr.PEs)
+		sinks = append(sinks, pf)
+	}
+	var iv *probe.Intervals
+	if *intervals > 0 {
+		iv = probe.NewIntervals(*intervals)
+		sinks = append(sinks, iv)
+	}
+	var hs *probe.HotSpots
+	if *hotspots > 0 {
+		hs = probe.NewHotSpots(ccfg.BlockWords, tr.Layout.Bounds().AreaOf)
+		sinks = append(sinks, hs)
+	}
+
+	timing := bus.Timing{MemCycles: 8, WidthWords: *width}
+	bs, cs, err := bench.ReplayConfigProbed(tr, ccfg, timing, probe.Multi(sinks...))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replayed %d references (%d PEs): %d bus cycles, miss ratio %.4f\n",
+		tr.Len(), tr.PEs, bs.TotalCycles, cs.MissRatio())
+
+	if iv != nil {
+		fmt.Println(iv.Table())
+		if *csvOut != "" {
+			cf, err := os.Create(*csvOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := iv.WriteCSV(cf); err != nil {
+				cf.Close()
+				fatal(err)
+			}
+			if err := cf.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *csvOut)
+		}
+	}
+	if hs != nil {
+		for _, t := range hs.Table(*hotspots) {
+			fmt.Println(t)
+		}
+	}
+	if pf != nil {
+		if err := pf.Close(); err != nil {
+			fatal(fmt.Errorf("writing %s: %w", *events, err))
+		}
+		if err := eventsFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s — open it at https://ui.perfetto.dev\n", *events)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pimprof:", err)
+	os.Exit(1)
+}
+
+func fatal2(err error) {
+	fmt.Fprintln(os.Stderr, "pimprof:", err)
+	os.Exit(2)
+}

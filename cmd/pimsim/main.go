@@ -10,10 +10,18 @@
 //	pimsim -bench Semi -scale 128 -cache 8192 -block 8 -ways 2
 //	pimsim -bench Pascal -protocol illinois
 //	pimsim -bench Tri,Semi,Puzzle,Pascal   # several, simulated in parallel
+//	pimsim -bench Tri -events tri.json -intervals 1000 -hotspots 10
 //
 // With a comma-separated -bench list the simulations fan out over -jobs
 // worker goroutines (every run owns a private simulated machine); the
 // reports print in list order regardless of completion order.
+//
+// The telemetry flags attach the probe layer (package probe) to the
+// run: -events writes a Perfetto/Chrome trace-event JSON timeline
+// (open it at ui.perfetto.dev), -intervals prints per-window bus
+// utilization / miss ratio / lock-wait metrics, and -hotspots prints
+// the top-K most contended blocks. They require a single -bench entry
+// (one machine, one timeline).
 package main
 
 import (
@@ -27,8 +35,10 @@ import (
 	"pimcache/internal/bench/programs"
 	"pimcache/internal/bus"
 	"pimcache/internal/cache"
+	"pimcache/internal/cliutil"
 	"pimcache/internal/mem"
 	"pimcache/internal/par"
+	"pimcache/internal/probe"
 	"pimcache/internal/stats"
 )
 
@@ -44,8 +54,20 @@ func main() {
 		protocol  = flag.String("protocol", "pim", "coherence protocol: pim, illinois, writethrough")
 		width     = flag.Int("buswidth", 1, "bus width in words")
 		jobs      = flag.Int("jobs", 0, "concurrent simulations (0 = all CPU cores)")
+		events    = flag.String("events", "", "write a Perfetto trace-event JSON timeline to this file")
+		intervals = flag.Uint64("intervals", 0, "print interval metrics every N simulated cycles")
+		hotspots  = flag.Int("hotspots", 0, "print the top-K most contended blocks")
 	)
 	flag.Parse()
+
+	if err := cliutil.FirstError(
+		cliutil.ValidatePEs(*pes),
+		cliutil.ValidateJobs(*jobs),
+		cliutil.ValidateBlock(*block),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "pimsim:", err)
+		os.Exit(2)
+	}
 
 	var benches []programs.Benchmark
 	for _, name := range strings.Split(*benchList, ",") {
@@ -91,6 +113,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	timing := bus.Timing{MemCycles: 8, WidthWords: *width}
+	probing := *events != "" || *intervals > 0 || *hotspots > 0
+	if probing {
+		if len(benches) > 1 {
+			fmt.Fprintln(os.Stderr, "pimsim: -events/-intervals/-hotspots need a single -bench entry (one machine, one timeline)")
+			os.Exit(2)
+		}
+		if err := runProbed(benches[0], *scale, *pes, ccfg, timing,
+			*events, *intervals, *hotspots); err != nil {
+			fmt.Fprintln(os.Stderr, "pimsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	// Fan the runs out, but buffer each report and print in list order.
 	reports := make([]strings.Builder, len(benches))
 	pool := par.New(*jobs)
@@ -101,8 +138,7 @@ func main() {
 			if runScale == 0 {
 				runScale = b.DefaultScale
 			}
-			rd, _, err := bench.RunLiveTiming(b, runScale, *pes, ccfg,
-				bus.Timing{MemCycles: 8, WidthWords: *width}, false)
+			rd, _, err := bench.RunLiveTiming(b, runScale, *pes, ccfg, timing, false)
 			if err != nil {
 				return err
 			}
@@ -123,6 +159,63 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pimsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runProbed executes one benchmark with the probe layer attached,
+// prints the usual report plus the requested telemetry tables, and
+// writes the Perfetto export.
+func runProbed(b programs.Benchmark, scale, pes int, ccfg cache.Config, timing bus.Timing, events string, intervals uint64, hotspots int) error {
+	runScale := scale
+	if runScale == 0 {
+		runScale = b.DefaultScale
+	}
+
+	var sinks []probe.Sink
+	var pf *probe.Perfetto
+	var eventsFile *os.File
+	if events != "" {
+		f, err := os.Create(events)
+		if err != nil {
+			return err
+		}
+		eventsFile = f
+		pf = probe.NewPerfetto(f, pes)
+		sinks = append(sinks, pf)
+	}
+	var iv *probe.Intervals
+	if intervals > 0 {
+		iv = probe.NewIntervals(intervals)
+		sinks = append(sinks, iv)
+	}
+	var hs *probe.HotSpots
+	if hotspots > 0 {
+		hs = probe.NewHotSpots(ccfg.BlockWords, bench.Layout().Bounds().AreaOf)
+		sinks = append(sinks, hs)
+	}
+
+	rd, _, err := bench.RunLiveProbed(b, runScale, pes, ccfg, timing, false, probe.Multi(sinks...))
+	if err != nil {
+		return err
+	}
+	printReport(os.Stdout, b, rd, ccfg)
+	if iv != nil {
+		fmt.Println(iv.Table())
+	}
+	if hs != nil {
+		for _, t := range hs.Table(hotspots) {
+			fmt.Println(t)
+		}
+	}
+	if pf != nil {
+		if err := pf.Close(); err != nil {
+			return fmt.Errorf("writing %s: %w", events, err)
+		}
+		if err := eventsFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s — open it at https://ui.perfetto.dev\n", events)
+	}
+	return nil
 }
 
 func printReport(w io.Writer, b programs.Benchmark, rd *bench.RunData, ccfg cache.Config) {

@@ -21,12 +21,17 @@ import (
 	"os"
 
 	"pimcache/internal/cache"
+	"pimcache/internal/cliutil"
 )
 
 func main() {
 	proto := flag.String("protocol", "pim", "pim, illinois, or writethrough")
 	jobs := flag.Int("jobs", 0, "concurrent derivation experiments (0 = all CPU cores)")
 	flag.Parse()
+	if err := cliutil.ValidateJobs(*jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "pimtable:", err)
+		os.Exit(2)
+	}
 	var p cache.Protocol
 	switch *proto {
 	case "pim":

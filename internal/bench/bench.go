@@ -22,6 +22,7 @@ import (
 	"pimcache/internal/machine"
 	"pimcache/internal/mem"
 	"pimcache/internal/par"
+	"pimcache/internal/probe"
 	"pimcache/internal/trace"
 
 	"pimcache/internal/bench/programs"
@@ -154,8 +155,20 @@ func RunLive(b programs.Benchmark, scale, pes int, ccfg cache.Config, record boo
 	return RunLiveTiming(b, scale, pes, ccfg, bus.DefaultTiming(), record)
 }
 
+// RunLiveProbed is RunLiveTiming with a telemetry sink attached to the
+// whole cluster (bus, caches, machine, scheduler) for the duration of
+// the run. The sink receives the full event stream, scheduler events
+// included.
+func RunLiveProbed(b programs.Benchmark, scale, pes int, ccfg cache.Config, timing bus.Timing, record bool, sink probe.Sink) (*RunData, *trace.Trace, error) {
+	return runLive(b, scale, pes, ccfg, timing, record, sink)
+}
+
 // RunLiveTiming is RunLive with explicit bus timing.
 func RunLiveTiming(b programs.Benchmark, scale, pes int, ccfg cache.Config, timing bus.Timing, record bool) (*RunData, *trace.Trace, error) {
+	return runLive(b, scale, pes, ccfg, timing, record, nil)
+}
+
+func runLive(b programs.Benchmark, scale, pes int, ccfg cache.Config, timing bus.Timing, record bool, sink probe.Sink) (*RunData, *trace.Trace, error) {
 	prog, err := parser.Parse(b.Source(scale))
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: parse: %w", b.Name, err)
@@ -169,6 +182,10 @@ func RunLiveTiming(b programs.Benchmark, scale, pes int, ccfg cache.Config, timi
 	sh, err := emulator.NewShared(im, m.Memory(), pes, emulator.DefaultConfig())
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	if sink != nil {
+		m.SetProbe(sink)
+		sh.SetProbe(sink, m.Bus().ProbeClock)
 	}
 	var rec *trace.Recorder
 	if record {
@@ -212,8 +229,20 @@ func RunLiveTiming(b programs.Benchmark, scale, pes int, ccfg cache.Config, timi
 // ReplayConfig replays a recorded stream against a cache configuration
 // and bus timing, returning the resulting statistics.
 func ReplayConfig(tr *trace.Trace, ccfg cache.Config, timing bus.Timing) (bus.Stats, cache.Stats, error) {
+	return ReplayConfigProbed(tr, ccfg, timing, nil)
+}
+
+// ReplayConfigProbed is ReplayConfig with a telemetry sink attached to
+// the replay machine. The sink receives the memory-system event stream
+// — identical, event for event, to a probed live run of the program the
+// trace was recorded from under the same configuration (scheduler
+// events excepted: a replay has no scheduler).
+func ReplayConfigProbed(tr *trace.Trace, ccfg cache.Config, timing bus.Timing, sink probe.Sink) (bus.Stats, cache.Stats, error) {
 	mcfg := machine.Config{PEs: tr.PEs, Layout: tr.Layout, Cache: ccfg, Timing: timing}
 	m := machine.New(mcfg)
+	if sink != nil {
+		m.SetProbe(sink)
+	}
 	ports := make([]mem.Accessor, tr.PEs)
 	for i := range ports {
 		ports[i] = m.Port(i)

@@ -17,6 +17,7 @@ import (
 
 	"pimcache/internal/kl1/word"
 	"pimcache/internal/mem"
+	"pimcache/internal/probe"
 )
 
 // Command enumerates the bus commands of Section 3.3.
@@ -269,6 +270,13 @@ type Bus struct {
 	totalLocks int
 	allMask    uint64
 	blockBuf   []word.Word
+
+	// probe, when non-nil, receives cycle-stamped telemetry events;
+	// ticks is the probe clock's per-reference component (see
+	// ProbeClock). Every emit site is guarded by a nil check so the
+	// disabled path costs one branch and zero allocations.
+	probe probe.Sink
+	ticks uint64
 }
 
 // Config parameterizes a bus.
@@ -418,7 +426,73 @@ func (b *Bus) blockBase(a word.Addr) word.Addr {
 	return a &^ word.Addr(b.blockWords-1)
 }
 
-func (b *Bus) account(p Pattern, a word.Addr) {
+// SetProbe attaches (or, with nil, detaches) the telemetry sink. The
+// machine propagates one sink to the bus and every cache; attaching
+// mid-run is allowed but events before the attach are simply absent.
+func (b *Bus) SetProbe(s probe.Sink) { b.probe = s }
+
+// Probe returns the attached telemetry sink (nil when disabled). The
+// caches read it to share the bus's sink and clock.
+func (b *Bus) Probe() probe.Sink { return b.probe }
+
+// Tick advances the probe clock by one cycle. The caches call it once
+// per memory reference — only while a probe is attached, so disabled
+// runs never touch it and remain cycle-exact with prior behaviour.
+func (b *Bus) Tick() { b.ticks++ }
+
+// ProbeClock is the simulated clock events are stamped with: total
+// bus cycles plus one cycle per memory reference issued while the
+// probe was attached. The reference component keeps the clock moving
+// through hit-only phases so per-interval bus utilization is
+// meaningful; both components are pure functions of the reference
+// stream, so live runs and trace replays agree.
+func (b *Bus) ProbeClock() uint64 { return b.ticks + b.stats.TotalCycles }
+
+// actualHolders is the remote-holder bitmask reported in bus events:
+// the presence filter when it is on, the ground-truth scan when it is
+// off. The two are identical by the filter-equivalence invariant, so
+// event streams do not depend on the filter setting.
+func (b *Bus) actualHolders(requester int, addr word.Addr) uint64 {
+	if b.noFilters {
+		return b.ScanHolders(addr) &^ (1 << uint(requester))
+	}
+	return b.presence[b.blockBase(addr)] &^ (1 << uint(requester))
+}
+
+// emitBegin and emitEnd report a bus transaction; callers check
+// b.probe != nil first. cmd is the Section 3.3 command byte or
+// probe.CmdNone; holders is the remote-holder mask captured before
+// any snooping mutated it.
+func (b *Bus) emitBegin(requester int, addr word.Addr, cmd uint8, holders uint64, withLock bool) {
+	var lk uint32
+	if withLock {
+		lk = 1
+	}
+	b.probe.Emit(probe.Event{
+		Kind: probe.KindBusBegin, Cycle: b.ProbeClock(), PE: int16(requester),
+		Addr: addr, A: cmd, Arg: holders, N: lk,
+	})
+}
+
+func (b *Bus) emitEnd(requester int, addr word.Addr, cmd, pat uint8, holders, cy uint64) {
+	b.probe.Emit(probe.Event{
+		Kind: probe.KindBusEnd, Cycle: b.ProbeClock(), PE: int16(requester),
+		Addr: addr, A: cmd, B: pat, Arg: holders, N: uint32(cy),
+	})
+}
+
+// emitAborted reports a transaction that drew LH: begin, the lock
+// conflict, and the end of the aborted (address-broadcast-only)
+// transaction.
+func (b *Bus) emitAborted(requester int, addr word.Addr, cmd uint8, withLock bool, holders, cy uint64) {
+	b.emitBegin(requester, addr, cmd, holders, withLock)
+	b.probe.Emit(probe.Event{
+		Kind: probe.KindLockConflict, Cycle: b.ProbeClock(), PE: int16(requester), Addr: addr,
+	})
+	b.emitEnd(requester, addr, cmd, uint8(PatInval), holders, cy)
+}
+
+func (b *Bus) account(p Pattern, a word.Addr) uint64 {
 	cy := b.timing.Cycles(p, b.blockWords)
 	b.stats.TotalCycles += cy
 	b.stats.CyclesByArea[b.areaOf(a)] += cy
@@ -430,6 +504,7 @@ func (b *Bus) account(p Pattern, a word.Addr) {
 		// hidden victim write-backs are charged by SwapOutHidden.
 		b.stats.MemBusyCycles += uint64(b.timing.MemCycles)
 	}
+	return cy
 }
 
 // lockHit polls remote lock directories for a lock on exactly addr,
@@ -495,10 +570,21 @@ func (b *Bus) Fetch(requester int, addr word.Addr, inval, victimDirty, withLock 
 	if b.lockHit(requester, addr) {
 		// Transaction aborted: LH response, requester busy-waits. The
 		// address broadcast still consumed bus cycles.
-		b.account(PatInval, addr)
+		var holders uint64
+		if b.probe != nil {
+			holders = b.actualHolders(requester, addr)
+		}
+		cy := b.account(PatInval, addr)
+		if b.probe != nil {
+			cmd := CmdF
+			if inval {
+				cmd = CmdFI
+			}
+			b.emitAborted(requester, addr, uint8(cmd), withLock, holders, cy)
+		}
 		return FetchResult{LockHit: true}
 	}
-	return b.fetch(requester, addr, inval, victimDirty)
+	return b.fetch(requester, addr, inval, victimDirty, withLock)
 }
 
 // FetchForced performs a fetch without polling remote lock directories.
@@ -506,10 +592,10 @@ func (b *Bus) Fetch(requester int, addr word.Addr, inval, victimDirty, withLock 
 // the busy wait has been accounted and the retry proceeds as it would
 // after the unlock broadcast.
 func (b *Bus) FetchForced(requester int, addr word.Addr, inval, victimDirty bool) FetchResult {
-	return b.fetch(requester, addr, inval, victimDirty)
+	return b.fetch(requester, addr, inval, victimDirty, false)
 }
 
-func (b *Bus) fetch(requester int, addr word.Addr, inval, victimDirty bool) FetchResult {
+func (b *Bus) fetch(requester int, addr word.Addr, inval, victimDirty, withLock bool) FetchResult {
 	cmd := CmdF
 	if inval {
 		cmd = CmdFI
@@ -517,6 +603,13 @@ func (b *Bus) fetch(requester int, addr word.Addr, inval, victimDirty bool) Fetc
 	b.stats.Commands[cmd]++
 
 	base := b.blockBase(addr)
+	var holders uint64
+	if b.probe != nil {
+		// Captured before the snoop loop: FI snoops drop copies and
+		// mutate the presence map.
+		holders = b.actualHolders(requester, addr)
+		b.emitBegin(requester, addr, uint8(cmd), holders, withLock)
+	}
 	var res FetchResult
 	// Visit the (filtered) snoop set in ascending PE order — the same
 	// order the unfiltered scan used, so supplier selection is identical.
@@ -546,21 +639,26 @@ func (b *Bus) fetch(requester int, addr word.Addr, inval, victimDirty bool) Fetc
 			res.Shared = true
 		}
 	}
+	var pat Pattern
 	if res.Data == nil {
 		// No cache held the block: shared memory supplies it.
 		res.Data = b.blockBuf[:b.blockWords]
 		b.memory.ReadBlock(base, res.Data)
 		if victimDirty {
-			b.account(PatSwapInMemSwapOut, addr)
+			pat = PatSwapInMemSwapOut
 		} else {
-			b.account(PatSwapInMem, addr)
+			pat = PatSwapInMem
 		}
 	} else {
 		if victimDirty {
-			b.account(PatC2CSwapOut, addr)
+			pat = PatC2CSwapOut
 		} else {
-			b.account(PatC2C, addr)
+			pat = PatC2C
 		}
+	}
+	cy := b.account(pat, addr)
+	if b.probe != nil {
+		b.emitEnd(requester, addr, uint8(cmd), uint8(pat), holders, cy)
 	}
 	if !res.Shared && b.lockedBlockElsewhere(requester, addr) {
 		// A remote PE holds a lock on a (possibly swapped-out) word of
@@ -609,21 +707,33 @@ func (b *Bus) Invalidate(requester int, addr word.Addr, withLock bool) bool {
 		b.stats.Commands[CmdLK]++
 	}
 	if b.lockHit(requester, addr) {
-		b.account(PatInval, addr)
+		var holders uint64
+		if b.probe != nil {
+			holders = b.actualHolders(requester, addr)
+		}
+		cy := b.account(PatInval, addr)
+		if b.probe != nil {
+			b.emitAborted(requester, addr, uint8(CmdI), withLock, holders, cy)
+		}
 		return false
 	}
-	b.invalidate(requester, addr)
+	b.invalidate(requester, addr, withLock)
 	return true
 }
 
 // ForceInvalidate invalidates without the lock poll; see FetchForced.
 func (b *Bus) ForceInvalidate(requester int, addr word.Addr) {
-	b.invalidate(requester, addr)
+	b.invalidate(requester, addr, false)
 }
 
-func (b *Bus) invalidate(requester int, addr word.Addr) {
+func (b *Bus) invalidate(requester int, addr word.Addr, withLock bool) {
 	b.stats.Commands[CmdI]++
-	b.account(PatInval, addr)
+	var holders uint64
+	if b.probe != nil {
+		holders = b.actualHolders(requester, addr)
+		b.emitBegin(requester, addr, uint8(CmdI), holders, withLock)
+	}
+	cy := b.account(PatInval, addr)
 	// SnoopInvalidate is a no-op on non-holders, so visiting only the
 	// filtered holder set is exact.
 	for m := b.remoteMask(requester, b.blockBase(addr)); m != 0; m &= m - 1 {
@@ -631,14 +741,23 @@ func (b *Bus) invalidate(requester int, addr word.Addr) {
 			s.SnoopInvalidate(addr)
 		}
 	}
+	if b.probe != nil {
+		b.emitEnd(requester, addr, uint8(CmdI), uint8(PatInval), holders, cy)
+	}
 }
 
-// SwapOut writes a dirty victim block back to shared memory as a lone
-// transaction (the DW-only pattern; fetch-driven write-backs are costed
-// inside Fetch).
-func (b *Bus) SwapOut(base word.Addr, data []word.Word) {
+// SwapOut writes requester's dirty victim block back to shared memory
+// as a lone transaction (the DW-only pattern; fetch-driven write-backs
+// are costed inside Fetch).
+func (b *Bus) SwapOut(requester int, base word.Addr, data []word.Word) {
+	if b.probe != nil {
+		b.emitBegin(requester, base, probe.CmdNone, 0, false)
+	}
 	b.memory.WriteBlock(base, data)
-	b.account(PatSwapOutOnly, base)
+	cy := b.account(PatSwapOutOnly, base)
+	if b.probe != nil {
+		b.emitEnd(requester, base, probe.CmdNone, uint8(PatSwapOutOnly), 0, cy)
+	}
 }
 
 // SwapOutHidden writes a dirty victim back to memory during a fetch; the
@@ -663,12 +782,20 @@ func (b *Bus) MemoryWriteBack(base word.Addr, data []word.Word) {
 // invalidating all other cached copies (write-through-with-invalidate,
 // the baseline the copy-back protocols are measured against).
 func (b *Bus) WordWrite(requester int, addr word.Addr, w word.Word) {
+	var holders uint64
+	if b.probe != nil {
+		holders = b.actualHolders(requester, addr)
+		b.emitBegin(requester, addr, probe.CmdNone, holders, false)
+	}
 	b.memory.Write(addr, w)
-	b.account(PatWordWrite, addr)
+	cy := b.account(PatWordWrite, addr)
 	for m := b.remoteMask(requester, b.blockBase(addr)); m != 0; m &= m - 1 {
 		if s := b.snoopers[bits.TrailingZeros64(m)]; s != nil {
 			s.SnoopInvalidate(addr)
 		}
+	}
+	if b.probe != nil {
+		b.emitEnd(requester, addr, probe.CmdNone, uint8(PatWordWrite), holders, cy)
 	}
 }
 
@@ -680,11 +807,17 @@ func (b *Bus) WordWrite(requester int, addr word.Addr, w word.Word) {
 // block, so neither presence filter can name them.
 func (b *Bus) Unlock(requester int, addr word.Addr) {
 	b.stats.Commands[CmdUL]++
-	b.account(PatUnlock, addr)
+	if b.probe != nil {
+		b.emitBegin(requester, addr, uint8(CmdUL), 0, false)
+	}
+	cy := b.account(PatUnlock, addr)
 	for i, lu := range b.lockUnits {
 		if i == requester || lu == nil {
 			continue
 		}
 		lu.ObserveUnlock(addr)
+	}
+	if b.probe != nil {
+		b.emitEnd(requester, addr, uint8(CmdUL), uint8(PatUnlock), 0, cy)
 	}
 }

@@ -309,7 +309,7 @@ func TestSwapOutWritesMemory(t *testing.T) {
 	b, _, _ := newTestBus(t, 1)
 	base := b.Memory().Bounds().HeapBase
 	data := []word.Word{word.Int(1), word.Int(2), word.Int(3), word.Int(4)}
-	b.SwapOut(base, data)
+	b.SwapOut(0, base, data)
 	if b.Memory().Read(base+3).IntVal() != 4 {
 		t.Error("swap-out did not reach memory")
 	}

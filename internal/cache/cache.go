@@ -6,6 +6,7 @@ import (
 	"pimcache/internal/bus"
 	"pimcache/internal/kl1/word"
 	"pimcache/internal/mem"
+	"pimcache/internal/probe"
 )
 
 // line is one cache block frame.
@@ -40,6 +41,12 @@ type Cache struct {
 	// traffic and the machine does not step it.
 	blocked   bool
 	blockedOn word.Addr
+
+	// probe, when non-nil, receives per-reference, state-transition and
+	// lock telemetry (bus-level events are emitted by the bus itself).
+	// Kept as a direct field so the per-reference hot path pays one nil
+	// check, not a bus method call.
+	probe probe.Sink
 }
 
 // New builds a cache for PE pe and attaches it to b.
@@ -85,6 +92,12 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // ResetStats zeroes the counters.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// SetProbe attaches (or, with nil, detaches) the telemetry sink. Use
+// machine.SetProbe to wire a whole cluster; standalone caches (trace
+// replay) are wired by their driver. The bus must carry the same sink
+// so the shared probe clock advances.
+func (c *Cache) SetProbe(s probe.Sink) { c.probe = s }
 
 // Blocked reports whether the PE is busy-waiting on a remote lock.
 func (c *Cache) Blocked() bool { return c.blocked }
@@ -132,21 +145,46 @@ func (c *Cache) victimFor(a word.Addr) *line {
 	return victim
 }
 
+// emitState reports a state transition on the block based at base;
+// callers check c.probe != nil.
+func (c *Cache) emitState(base word.Addr, from, to State, reason uint64) {
+	c.probe.Emit(probe.Event{
+		Kind: probe.KindCacheState, Cycle: c.bus.ProbeClock(), PE: int16(c.pe),
+		Addr: base, A: uint8(from), B: uint8(to), Arg: reason,
+	})
+}
+
+// setState changes l's state in place, reporting the transition. Only
+// valid→valid transitions go through it; INV crossings use install and
+// drop, which also maintain the bus presence filter.
+func (c *Cache) setState(l *line, to State, reason uint64) {
+	if c.probe != nil && l.state != to {
+		c.emitState(l.base, l.state, to, reason)
+	}
+	l.state = to
+}
+
 // install marks l as holding the block based at base in state st and
 // notifies the bus presence filter. Every INV→valid transition must go
 // through it (the filter's exactness is what makes filtered snooping
 // equivalent to the full scan).
-func (c *Cache) install(l *line, base word.Addr, st State) {
+func (c *Cache) install(l *line, base word.Addr, st State, reason uint64) {
 	l.base = base
 	l.state = st
 	c.bus.BlockInstalled(c.pe, base)
+	if c.probe != nil {
+		c.emitState(base, INV, st, reason)
+	}
 }
 
 // drop invalidates l, notifying the bus presence filter. It is a no-op
 // on an already-invalid line.
-func (c *Cache) drop(l *line) {
+func (c *Cache) drop(l *line, reason uint64) {
 	if l.state.Valid() {
 		c.bus.BlockDropped(c.pe, l.base)
+		if c.probe != nil {
+			c.emitState(l.base, l.state, INV, reason)
+		}
 		l.state = INV
 	}
 }
@@ -158,7 +196,18 @@ func (c *Cache) evictHidden(v *line) {
 		c.bus.SwapOutHidden(v.base, v.data)
 		c.stats.SwapOuts++
 	}
-	c.drop(v)
+	c.drop(v, probe.ReasonEvict)
+}
+
+// miss records a miss under op and reports it to the probe.
+func (c *Cache) miss(a word.Addr, op Op) {
+	c.stats.Misses[op]++
+	if c.probe != nil {
+		c.probe.Emit(probe.Event{
+			Kind: probe.KindMiss, Cycle: c.bus.ProbeClock(), PE: int16(c.pe),
+			Addr: a, A: uint8(op),
+		})
+	}
 }
 
 // fetchInto performs the bus fetch for a (F when inval is false, FI when
@@ -201,7 +250,7 @@ func (c *Cache) fetchInto(a word.Addr, inval bool) *line {
 	default:
 		st = EC
 	}
-	c.install(victim, c.blockBase(a), st)
+	c.install(victim, c.blockBase(a), st, probe.ReasonFetch)
 	c.touch(victim)
 	return victim
 }
@@ -214,7 +263,7 @@ func (c *Cache) readInternal(a word.Addr, op Op) word.Word {
 		c.touch(l)
 		return l.data[a&c.offMask]
 	}
-	c.stats.Misses[op]++
+	c.miss(a, op)
 	l := c.fetchInto(a, false)
 	return l.data[a&c.offMask]
 }
@@ -232,7 +281,7 @@ func (c *Cache) writeInternal(a word.Addr, w word.Word, op Op) {
 			c.touch(l)
 			l.data[a&c.offMask] = w
 		} else {
-			c.stats.Misses[op]++
+			c.miss(a, op)
 		}
 		c.bus.WordWrite(c.pe, a, w)
 		return
@@ -250,22 +299,23 @@ func (c *Cache) writeInternal(a word.Addr, w word.Word, op Op) {
 				c.bus.ForceInvalidate(c.pe, a)
 			}
 			if c.bus.RemoteLockInBlock(c.pe, a) {
-				l.state = SM
+				c.setState(l, SM, probe.ReasonWrite)
 			} else {
-				l.state = EM
+				c.setState(l, EM, probe.ReasonWrite)
 			}
 		case EC:
-			l.state = EM
+			c.setState(l, EM, probe.ReasonWrite)
 		}
 		l.data[a&c.offMask] = w
 		return
 	}
-	c.stats.Misses[op]++
+	c.miss(a, op)
 	l := c.fetchInto(a, true) // fetch-on-write, invalidating other copies
 	if l.state == S || l.state == SM {
-		l.state = SM // lock-forced non-exclusive grant: stay shared-modified
+		// Lock-forced non-exclusive grant: stay shared-modified.
+		c.setState(l, SM, probe.ReasonWrite)
 	} else {
-		l.state = EM
+		c.setState(l, EM, probe.ReasonWrite)
 	}
 	l.data[a&c.offMask] = w
 }
@@ -273,6 +323,16 @@ func (c *Cache) writeInternal(a word.Addr, w word.Word, op Op) {
 func (c *Cache) countRef(a word.Addr, op Op) mem.Area {
 	area := c.areaOf(a)
 	c.stats.Refs[area][op]++
+	if c.probe != nil {
+		// The reference advances the probe clock by one cycle (the cache
+		// access itself), so the clock keeps moving through hit-only
+		// phases; disabled runs never tick.
+		c.bus.Tick()
+		c.probe.Emit(probe.Event{
+			Kind: probe.KindRef, Cycle: c.bus.ProbeClock(), PE: int16(c.pe),
+			Addr: a, A: uint8(op),
+		})
+	}
 	return area
 }
 
@@ -317,20 +377,20 @@ func (c *Cache) DirectWrite(a word.Addr, w word.Word) {
 		panic(fmt.Sprintf("cache: DW contract violation at %#x: remote copy exists", a))
 	}
 	c.stats.DWApplied++
-	c.stats.Misses[OpDW]++
+	c.miss(a, OpDW)
 	victim := c.victimFor(a)
 	if victim.state.Dirty() {
 		// The only bus activity a direct write can cause: the lone
 		// swap-out pattern (five cycles at base parameters).
-		c.bus.SwapOut(victim.base, victim.data)
+		c.bus.SwapOut(c.pe, victim.base, victim.data)
 		c.stats.SwapOuts++
 	}
-	c.drop(victim)
+	c.drop(victim, probe.ReasonEvict)
 	for i := range victim.data {
 		victim.data[i] = 0
 	}
 	victim.data[a&c.offMask] = w
-	c.install(victim, c.blockBase(a), EM)
+	c.install(victim, c.blockBase(a), EM, probe.ReasonDirectWrite)
 	c.touch(victim)
 }
 
@@ -361,14 +421,14 @@ func (c *Cache) ExclusiveRead(a word.Addr) word.Word {
 			if l.state.Dirty() {
 				c.stats.PurgedDirty++
 			}
-			c.drop(l)
+			c.drop(l, probe.ReasonPurge)
 			c.stats.ERPurge++
 		} else {
 			c.stats.ERDegraded++
 		}
 		return v
 	}
-	c.stats.Misses[OpER]++
+	c.miss(a, OpER)
 	if !last && c.bus.RemoteHolder(c.pe, a) {
 		// Case (i): fetch with invalidation of the supplier.
 		c.stats.ERInval++
@@ -401,11 +461,11 @@ func (c *Cache) ReadPurge(a word.Addr) word.Word {
 		if l.state.Dirty() {
 			c.stats.PurgedDirty++
 		}
-		c.drop(l)
+		c.drop(l, probe.ReasonPurge)
 		c.stats.RPApplied++
 		return v
 	}
-	c.stats.Misses[OpRP]++
+	c.miss(a, OpRP)
 	if c.bus.RemoteHolder(c.pe, a) {
 		res := c.bus.Fetch(c.pe, a, true, false, false)
 		if res.LockHit {
@@ -439,7 +499,7 @@ func (c *Cache) ReadInvalidate(a word.Addr) word.Word {
 		c.stats.RIDegraded++
 		return c.readInternal(a, OpRI)
 	}
-	c.stats.Misses[OpRI]++
+	c.miss(a, OpRI)
 	if c.bus.RemoteHolder(c.pe, a) {
 		c.stats.RIApplied++
 		l := c.fetchInto(a, true)
@@ -481,15 +541,15 @@ func (c *Cache) LockRead(a word.Addr) (word.Word, bool) {
 		}
 		if !c.bus.RemoteLockInBlock(c.pe, a) {
 			if l.state == SM {
-				l.state = EM
+				c.setState(l, EM, probe.ReasonLock)
 			} else {
-				l.state = EC
+				c.setState(l, EC, probe.ReasonLock)
 			}
 		}
 		c.acquireLock(a)
 		return l.data[a&c.offMask], true
 	}
-	c.stats.Misses[OpLR]++
+	c.miss(a, OpLR)
 	victim := c.victimFor(a)
 	vdirty := victim.state.Dirty()
 	res := c.bus.Fetch(c.pe, a, true, vdirty, true)
@@ -510,7 +570,7 @@ func (c *Cache) LockRead(a word.Addr) (word.Word, bool) {
 	default:
 		st = EC
 	}
-	c.install(victim, c.blockBase(a), st)
+	c.install(victim, c.blockBase(a), st, probe.ReasonLock)
 	c.touch(victim)
 	c.acquireLock(a)
 	return victim.data[a&c.offMask], true
@@ -520,12 +580,22 @@ func (c *Cache) LockRead(a word.Addr) (word.Word, bool) {
 func (c *Cache) acquireLock(a word.Addr) {
 	c.dir.acquire(a)
 	c.bus.LockAcquired(c.pe)
+	if c.probe != nil {
+		c.probe.Emit(probe.Event{
+			Kind: probe.KindLockAcquire, Cycle: c.bus.ProbeClock(), PE: int16(c.pe), Addr: a,
+		})
+	}
 }
 
 func (c *Cache) beginBusyWait(a word.Addr) {
 	c.stats.BusyWaits++
 	c.blocked = true
 	c.blockedOn = a
+	if c.probe != nil {
+		c.probe.Emit(probe.Event{
+			Kind: probe.KindLockSpin, Cycle: c.bus.ProbeClock(), PE: int16(c.pe), Addr: a,
+		})
+	}
 }
 
 // UnlockWrite implements UW: store the word and release the lock. The UL
@@ -546,6 +616,16 @@ func (c *Cache) Unlock(a word.Addr) {
 func (c *Cache) releaseLock(a word.Addr) {
 	hadWaiter := c.dir.release(a)
 	c.bus.LockReleased(c.pe)
+	if c.probe != nil {
+		var waiter uint64
+		if hadWaiter {
+			waiter = 1
+		}
+		c.probe.Emit(probe.Event{
+			Kind: probe.KindLockRelease, Cycle: c.bus.ProbeClock(), PE: int16(c.pe),
+			Addr: a, Arg: waiter,
+		})
+	}
 	if hadWaiter {
 		c.stats.UnlockWaiter++
 		c.bus.Unlock(c.pe, a)
@@ -577,15 +657,15 @@ func (c *Cache) SnoopFetch(a word.Addr, inval bool) (data []word.Word, held, dir
 		// memory-module pressure the SM state avoids.
 		c.bus.MemoryWriteBack(l.base, l.data)
 		if inval {
-			c.drop(l)
+			c.drop(l, probe.ReasonSnoopInval)
 			c.stats.Invalidations++
 			return data, true, false, false
 		}
-		l.state = S
+		c.setState(l, S, probe.ReasonSnoopShare)
 		return data, true, false, true
 	}
 	if inval {
-		c.drop(l)
+		c.drop(l, probe.ReasonSnoopInval)
 		c.stats.Invalidations++
 		return data, true, dirty, false
 	}
@@ -593,9 +673,9 @@ func (c *Cache) SnoopFetch(a word.Addr, inval bool) (data []word.Word, held, dir
 	// ownership in SM; clean exclusives downgrade to S.
 	switch l.state {
 	case EM:
-		l.state = SM
+		c.setState(l, SM, probe.ReasonSnoopShare)
 	case EC:
-		l.state = S
+		c.setState(l, S, probe.ReasonSnoopShare)
 	}
 	return data, true, dirty, true
 }
@@ -606,7 +686,7 @@ func (c *Cache) SnoopInvalidate(a word.Addr) {
 		// The writer's copy holds identical base content plus its new
 		// store, so a dirty copy dies silently; ownership passes to the
 		// writer, which leaves the I command as EM.
-		c.drop(l)
+		c.drop(l, probe.ReasonSnoopInval)
 		c.stats.Invalidations++
 	}
 }
@@ -643,7 +723,7 @@ func (c *Cache) Flush() {
 			if l.state.Dirty() {
 				c.bus.Memory().WriteBlock(l.base, l.data)
 			}
-			c.drop(l)
+			c.drop(l, probe.ReasonFlush)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"pimcache/internal/kl1/word"
 	"pimcache/internal/mem"
 	"pimcache/internal/par"
+	"pimcache/internal/probe"
 )
 
 // Transition-table derivation.
@@ -269,7 +270,7 @@ func busOps(pre, post *bus.Stats) string {
 // scenarios and tests.
 func (c *Cache) SnoopInvalidateSelf(a word.Addr) {
 	if l := c.lookup(a); l != nil {
-		c.drop(l)
+		c.drop(l, probe.ReasonSnoopInval)
 	}
 }
 

@@ -1,0 +1,52 @@
+// Package cliutil holds the flag validation shared by the pimsim,
+// pimbench, pimtable, pimtrace and pimprof commands. The simulator
+// core panics on malformed configurations (and some bad values used to
+// slip far deeper before surfacing); these helpers turn bad flag
+// values into ordinary errors at the command line.
+package cliutil
+
+import (
+	"fmt"
+
+	"pimcache/internal/bus"
+)
+
+// ValidatePEs checks a -pes flag: at least one PE, at most the bus's
+// presence-filter limit.
+func ValidatePEs(pes int) error {
+	if pes < 1 {
+		return fmt.Errorf("-pes must be at least 1 (got %d)", pes)
+	}
+	if pes > bus.MaxPEs {
+		return fmt.Errorf("-pes must be at most %d (got %d)", bus.MaxPEs, pes)
+	}
+	return nil
+}
+
+// ValidateJobs checks a -jobs flag: non-negative (0 means all cores).
+func ValidateJobs(jobs int) error {
+	if jobs < 0 {
+		return fmt.Errorf("-jobs must be non-negative (got %d)", jobs)
+	}
+	return nil
+}
+
+// ValidateBlock checks a -block flag: a positive power of two, so
+// block-base masking works.
+func ValidateBlock(block int) error {
+	if block < 1 || block&(block-1) != 0 {
+		return fmt.Errorf("-block must be a positive power of two (got %d)", block)
+	}
+	return nil
+}
+
+// FirstError returns the first non-nil error, letting commands
+// validate several flags in one statement.
+func FirstError(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package cliutil
+
+import (
+	"errors"
+	"testing"
+
+	"pimcache/internal/bus"
+)
+
+func TestValidatePEs(t *testing.T) {
+	for _, pes := range []int{1, 2, 8, bus.MaxPEs} {
+		if err := ValidatePEs(pes); err != nil {
+			t.Errorf("ValidatePEs(%d) = %v, want nil", pes, err)
+		}
+	}
+	for _, pes := range []int{0, -1, -8, bus.MaxPEs + 1} {
+		if err := ValidatePEs(pes); err == nil {
+			t.Errorf("ValidatePEs(%d) = nil, want error", pes)
+		}
+	}
+}
+
+func TestValidateJobs(t *testing.T) {
+	for _, jobs := range []int{0, 1, 64} {
+		if err := ValidateJobs(jobs); err != nil {
+			t.Errorf("ValidateJobs(%d) = %v, want nil", jobs, err)
+		}
+	}
+	if err := ValidateJobs(-1); err == nil {
+		t.Error("ValidateJobs(-1) = nil, want error")
+	}
+}
+
+func TestValidateBlock(t *testing.T) {
+	for _, block := range []int{1, 2, 4, 8, 16, 1024} {
+		if err := ValidateBlock(block); err != nil {
+			t.Errorf("ValidateBlock(%d) = %v, want nil", block, err)
+		}
+	}
+	for _, block := range []int{0, -4, 3, 6, 12, 1000} {
+		if err := ValidateBlock(block); err == nil {
+			t.Errorf("ValidateBlock(%d) = nil, want error", block)
+		}
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	if err := FirstError(nil, nil, nil); err != nil {
+		t.Errorf("FirstError(nil...) = %v", err)
+	}
+	want := errors.New("boom")
+	if err := FirstError(nil, want, errors.New("later")); err != want {
+		t.Errorf("FirstError returned %v, want the first error", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"pimcache/internal/kl1/word"
 	"pimcache/internal/machine"
 	"pimcache/internal/mem"
+	"pimcache/internal/probe"
 )
 
 // dwAccessor forwards to an Accessor but turns plain writes into direct
@@ -250,9 +251,11 @@ func (e *Engine) schedule() machine.Status {
 			}
 			return machine.StatusIdle
 		}
+		victim := e.waitingOn
 		e.waitingOn = -1
 		if payload.Tag() == word.TagGoal {
 			e.receiveGoal(payload.Addr())
+			e.sh.emitSched(probe.KindGoalSteal, e.pe, payload.Addr(), uint64(victim))
 			return machine.StatusRunning
 		}
 		return machine.StatusIdle // NOWORK: try another victim next step

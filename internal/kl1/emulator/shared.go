@@ -19,6 +19,7 @@ import (
 	"pimcache/internal/kl1/compile"
 	"pimcache/internal/kl1/word"
 	"pimcache/internal/mem"
+	"pimcache/internal/probe"
 )
 
 // Record layouts. Goal records are fixed-size so that they are
@@ -99,6 +100,30 @@ type Shared struct {
 	gc gcState
 
 	out strings.Builder
+
+	// probe receives scheduler-level telemetry (goal steal / suspend /
+	// resume); now supplies the probe clock, normally the cluster bus's
+	// ProbeClock. Both nil unless SetProbe attached them.
+	probe probe.Sink
+	now   func() uint64
+}
+
+// SetProbe attaches the telemetry sink for scheduler events; now must
+// supply the probe clock (pass the cluster bus's ProbeClock so the
+// scheduler events share the memory system's timeline). Pass nil, nil
+// to detach.
+func (sh *Shared) SetProbe(s probe.Sink, now func() uint64) {
+	sh.probe = s
+	sh.now = now
+}
+
+// emitSched reports a scheduler event for pe; a no-op when no probe is
+// attached.
+func (sh *Shared) emitSched(kind probe.Kind, pe int, addr word.Addr, arg uint64) {
+	if sh.probe == nil {
+		return
+	}
+	sh.probe.Emit(probe.Event{Kind: kind, Cycle: sh.now(), PE: int16(pe), Addr: addr, Arg: arg})
 }
 
 // NewShared prepares the cluster state and loads the code image into the

@@ -5,6 +5,7 @@ import (
 
 	"pimcache/internal/kl1/compile"
 	"pimcache/internal/kl1/word"
+	"pimcache/internal/probe"
 )
 
 // deref follows reference chains. It returns either (value, 0) for a
@@ -272,6 +273,7 @@ func (e *Engine) wakeHooks(head word.Addr) {
 			e.sh.liveGoals++
 			e.sh.floating--
 			e.stats.Resumptions++
+			e.sh.emitSched(probe.KindGoalResume, e.pe, g, 0)
 		} else {
 			// Stale suspension (the goal was already woken through
 			// another variable): write the status back unchanged. The
@@ -313,6 +315,7 @@ func (e *Engine) startSuspend() {
 	e.suspWake = false
 	e.stats.Suspensions++
 	e.sh.floating++
+	e.sh.emitSched(probe.KindGoalSuspend, e.pe, rec, 0)
 	e.continueSuspend()
 }
 

@@ -17,6 +17,7 @@ import (
 	"pimcache/internal/cache"
 	"pimcache/internal/kl1/word"
 	"pimcache/internal/mem"
+	"pimcache/internal/probe"
 )
 
 // Status is the result of one processor step.
@@ -86,6 +87,7 @@ type Machine struct {
 	procs  []Processor
 	steps  uint64
 	rounds uint64
+	probe  probe.Sink
 }
 
 // New builds the memory, bus and caches. Processors attach afterwards.
@@ -130,6 +132,19 @@ func (m *Machine) Port(i int) mem.Accessor { return m.caches[i] }
 // Attach installs PE i's processor.
 func (m *Machine) Attach(i int, p Processor) { m.procs[i] = p }
 
+// SetProbe attaches one telemetry sink to the whole cluster: the bus
+// (transactions and the probe clock), every cache (references, misses,
+// state transitions, locks) and the machine itself (PE scheduler
+// status). Pass nil to detach; a nil sink restores the exact disabled
+// behaviour everywhere.
+func (m *Machine) SetProbe(s probe.Sink) {
+	m.probe = s
+	m.bus.SetProbe(s)
+	for _, c := range m.caches {
+		c.SetProbe(s)
+	}
+}
+
 // Steps reports how many processor steps have executed.
 func (m *Machine) Steps() uint64 { return m.steps }
 
@@ -166,6 +181,16 @@ func (m *Machine) Run(maxSteps uint64) RunResult {
 	}
 	halted := make([]bool, len(m.procs))
 	nHalted := 0
+	// Scheduler-status tracking for the probe: one last-reported status
+	// per PE, emitted only on change. Live-only telemetry — a trace
+	// replay has no scheduler — so it never affects replay identity.
+	var pstat []uint8
+	if m.probe != nil {
+		pstat = make([]uint8, len(m.procs))
+		for i := range pstat {
+			pstat[i] = 0xFF
+		}
+	}
 	var res RunResult
 	for nHalted < len(m.procs) {
 		m.rounds++
@@ -176,12 +201,21 @@ func (m *Machine) Run(maxSteps uint64) RunResult {
 				continue
 			}
 			if m.caches[i].Blocked() {
+				if pstat != nil {
+					m.emitStatus(pstat, i, probe.StatusSpinning)
+				}
 				continue // busy-waiting: no bus traffic, no step
 			}
 			progressed = true
 			m.steps++
 			res.Steps++
-			switch p.Step() {
+			st := p.Step()
+			if pstat != nil {
+				// Status values mirror probe's numerically (asserted by
+				// the cross-package name test).
+				m.emitStatus(pstat, i, uint8(st))
+			}
+			switch st {
 			case StatusHalted:
 				halted[i] = true
 				nHalted++
@@ -199,6 +233,17 @@ func (m *Machine) Run(maxSteps uint64) RunResult {
 		}
 	}
 	return res
+}
+
+// emitStatus reports PE i's scheduler status when it changed.
+func (m *Machine) emitStatus(pstat []uint8, i int, s uint8) {
+	if pstat[i] == s {
+		return
+	}
+	pstat[i] = s
+	m.probe.Emit(probe.Event{
+		Kind: probe.KindPEStatus, Cycle: m.bus.ProbeClock(), PE: int16(i), A: s,
+	})
 }
 
 // FlushAll writes every dirty cached block back to memory and empties all

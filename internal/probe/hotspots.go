@@ -1,0 +1,141 @@
+package probe
+
+import (
+	"fmt"
+	"sort"
+
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/mem"
+	"pimcache/internal/stats"
+)
+
+// BlockCount is one block's contention tally.
+type BlockCount struct {
+	// Base is the block's base address.
+	Base word.Addr
+	// Area is the memory area the block lives in.
+	Area mem.Area
+	// Invals counts copies of the block invalidated by remote activity.
+	Invals uint64
+	// Conflicts counts lock denials (LH responses) on the block.
+	Conflicts uint64
+	// BusTxns counts bus transactions addressed to the block.
+	BusTxns uint64
+}
+
+// HotSpots accumulates per-block-base contention counters —
+// invalidations suffered, lock conflicts, and bus transactions — and
+// reports the top-K offenders per metric, classified by memory area.
+// It is how "which address is everyone fighting over?" gets answered
+// without reading a timeline.
+type HotSpots struct {
+	blockWords int
+	areaOf     func(word.Addr) mem.Area
+	counts     map[word.Addr]*BlockCount
+}
+
+// NewHotSpots counts contention per block of blockWords words,
+// classifying addresses with areaOf (pass bounds.AreaOf; nil leaves
+// every block in AreaNone).
+func NewHotSpots(blockWords int, areaOf func(word.Addr) mem.Area) *HotSpots {
+	if blockWords < 1 || blockWords&(blockWords-1) != 0 {
+		panic("probe: block size must be a positive power of two")
+	}
+	if areaOf == nil {
+		areaOf = func(word.Addr) mem.Area { return mem.AreaNone }
+	}
+	return &HotSpots{
+		blockWords: blockWords,
+		areaOf:     areaOf,
+		counts:     make(map[word.Addr]*BlockCount),
+	}
+}
+
+func (h *HotSpots) at(a word.Addr) *BlockCount {
+	base := a &^ word.Addr(h.blockWords-1)
+	c := h.counts[base]
+	if c == nil {
+		c = &BlockCount{Base: base, Area: h.areaOf(base)}
+		h.counts[base] = c
+	}
+	return c
+}
+
+// Emit implements Sink.
+func (h *HotSpots) Emit(e Event) {
+	switch e.Kind {
+	case KindBusEnd:
+		h.at(e.Addr).BusTxns++
+	case KindLockConflict:
+		h.at(e.Addr).Conflicts++
+	case KindCacheState:
+		if e.Arg == ReasonSnoopInval {
+			h.at(e.Addr).Invals++
+		}
+	}
+}
+
+// Top returns the k blocks with the highest value of metric, ties
+// broken by ascending base address so the ranking is deterministic.
+func (h *HotSpots) Top(k int, metric func(*BlockCount) uint64) []BlockCount {
+	all := make([]BlockCount, 0, len(h.counts))
+	for _, c := range h.counts {
+		if metric(c) > 0 {
+			all = append(all, *c)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		mi, mj := metric(&all[i]), metric(&all[j])
+		if mi != mj {
+			return mi > mj
+		}
+		return all[i].Base < all[j].Base
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Invals selects the invalidation count (for Top).
+func Invals(c *BlockCount) uint64 { return c.Invals }
+
+// Conflicts selects the lock-conflict count (for Top).
+func Conflicts(c *BlockCount) uint64 { return c.Conflicts }
+
+// BusTxns selects the bus-transaction count (for Top).
+func BusTxns(c *BlockCount) uint64 { return c.BusTxns }
+
+// Table renders the top-k blocks by each metric as one table per
+// metric with a non-empty ranking.
+func (h *HotSpots) Table(k int) []*stats.Table {
+	var out []*stats.Table
+	metrics := []struct {
+		name   string
+		metric func(*BlockCount) uint64
+	}{
+		{"most invalidated", Invals},
+		{"most lock-contended", Conflicts},
+		{"most bus transactions", BusTxns},
+	}
+	for _, m := range metrics {
+		top := h.Top(k, m.metric)
+		if len(top) == 0 {
+			continue
+		}
+		t := &stats.Table{
+			Title:   fmt.Sprintf("hot blocks: %s (top %d)", m.name, k),
+			Columns: []string{"block", "area", "invals", "lock-conflicts", "bus-txns"},
+		}
+		for _, c := range top {
+			t.AddRow(fmt.Sprintf("0x%x", uint32(c.Base)),
+				c.Area.String(),
+				fmt.Sprintf("%d", c.Invals),
+				fmt.Sprintf("%d", c.Conflicts),
+				fmt.Sprintf("%d", c.BusTxns),
+			)
+		}
+		out = append(out, t)
+	}
+	return out
+}

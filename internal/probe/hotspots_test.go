@@ -1,0 +1,79 @@
+package probe
+
+import (
+	"testing"
+
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/mem"
+)
+
+func TestHotSpotsPanicsOnBadBlock(t *testing.T) {
+	for _, bad := range []int{0, -4, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHotSpots(%d, nil) did not panic", bad)
+				}
+			}()
+			NewHotSpots(bad, nil)
+		}()
+	}
+}
+
+func TestHotSpotsBlockBaseMasking(t *testing.T) {
+	h := NewHotSpots(4, nil)
+	// Three addresses inside block 0x10, one in block 0x20.
+	for _, a := range []word.Addr{0x10, 0x11, 0x13, 0x21} {
+		h.Emit(Event{Kind: KindBusEnd, Addr: a})
+	}
+	top := h.Top(10, BusTxns)
+	if len(top) != 2 {
+		t.Fatalf("%d blocks, want 2", len(top))
+	}
+	if top[0].Base != 0x10 || top[0].BusTxns != 3 {
+		t.Errorf("top block = %+v, want base 0x10 with 3 txns", top[0])
+	}
+	if top[0].Area != mem.AreaNone {
+		t.Errorf("nil areaOf should leave Area = AreaNone, got %v", top[0].Area)
+	}
+}
+
+func TestHotSpotsMetricsAndOrdering(t *testing.T) {
+	h := NewHotSpots(4, nil)
+	h.Emit(Event{Kind: KindLockConflict, Addr: 0x40})
+	h.Emit(Event{Kind: KindLockConflict, Addr: 0x40})
+	h.Emit(Event{Kind: KindLockConflict, Addr: 0x80})
+	h.Emit(Event{Kind: KindCacheState, Addr: 0x40, Arg: ReasonSnoopInval})
+	h.Emit(Event{Kind: KindCacheState, Addr: 0x80, Arg: ReasonEvict}) // not an inval
+
+	if top := h.Top(10, Conflicts); len(top) != 2 || top[0].Base != 0x40 || top[0].Conflicts != 2 {
+		t.Errorf("Top(Conflicts) = %+v, want 0x40 first with 2", top)
+	}
+	// Zero-metric blocks are filtered out entirely.
+	if top := h.Top(10, Invals); len(top) != 1 || top[0].Base != 0x40 {
+		t.Errorf("Top(Invals) = %+v, want only 0x40", top)
+	}
+	if top := h.Top(10, BusTxns); len(top) != 0 {
+		t.Errorf("Top(BusTxns) = %+v, want empty", top)
+	}
+	// k truncates.
+	if top := h.Top(1, Conflicts); len(top) != 1 {
+		t.Errorf("Top(1) returned %d blocks", len(top))
+	}
+}
+
+func TestHotSpotsTieBreakAndTables(t *testing.T) {
+	h := NewHotSpots(8, nil)
+	// Equal counts: ascending base order must win for determinism.
+	for _, a := range []word.Addr{0x300, 0x100, 0x200} {
+		h.Emit(Event{Kind: KindBusEnd, Addr: a})
+	}
+	top := h.Top(3, BusTxns)
+	if top[0].Base != 0x100 || top[1].Base != 0x200 || top[2].Base != 0x300 {
+		t.Errorf("tie-break order wrong: %+v", top)
+	}
+	// Only the bus-transaction table has rows here.
+	if tables := h.Table(3); len(tables) != 1 {
+		t.Errorf("Table produced %d tables, want 1", len(tables))
+	}
+}

@@ -1,0 +1,98 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIntervalsPanicsOnZeroWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewIntervals(0) did not panic")
+		}
+	}()
+	NewIntervals(0)
+}
+
+func TestIntervalsRefBuckets(t *testing.T) {
+	iv := NewIntervals(10)
+	iv.Emit(Event{Kind: KindRef, Cycle: 0, A: 0})
+	iv.Emit(Event{Kind: KindRef, Cycle: 9, A: OpU}) // counted as ref, not lookup
+	iv.Emit(Event{Kind: KindRef, Cycle: 10, A: 1})
+	iv.Emit(Event{Kind: KindMiss, Cycle: 10, A: 1})
+	iv.Emit(Event{Kind: KindCacheState, Cycle: 25, Arg: ReasonSnoopInval})
+	iv.Emit(Event{Kind: KindCacheState, Cycle: 25, Arg: ReasonEvict}) // not an inval
+	iv.Emit(Event{Kind: KindGoalSteal, Cycle: 25})
+	bk := iv.Buckets()
+	if len(bk) != 3 {
+		t.Fatalf("%d buckets, want 3", len(bk))
+	}
+	if bk[0].Refs != 2 || bk[0].Lookups != 1 {
+		t.Errorf("bucket 0: refs %d lookups %d, want 2/1", bk[0].Refs, bk[0].Lookups)
+	}
+	if bk[1].Refs != 1 || bk[1].Misses != 1 {
+		t.Errorf("bucket 1: refs %d misses %d, want 1/1", bk[1].Refs, bk[1].Misses)
+	}
+	if bk[2].Invals != 1 || bk[2].Steals != 1 {
+		t.Errorf("bucket 2: invals %d steals %d, want 1/1", bk[2].Invals, bk[2].Steals)
+	}
+}
+
+func TestIntervalsSpreadAcrossBoundaries(t *testing.T) {
+	iv := NewIntervals(10)
+	// A 25-cycle bus transaction ending at cycle 30 spans [5, 30):
+	// 5 cycles in window 0, 10 in window 1, 10 in window 2.
+	iv.Emit(Event{Kind: KindBusEnd, Cycle: 30, N: 25})
+	bk := iv.Buckets()
+	if len(bk) != 3 {
+		t.Fatalf("%d buckets, want 3", len(bk))
+	}
+	for i, want := range []uint64{5, 10, 10} {
+		if bk[i].BusCycles != want {
+			t.Errorf("bucket %d: BusCycles %d, want %d", i, bk[i].BusCycles, want)
+		}
+	}
+}
+
+func TestIntervalsLockWait(t *testing.T) {
+	iv := NewIntervals(10)
+	iv.Emit(Event{Kind: KindLockSpin, Cycle: 5, PE: 2})
+	// A second denial before the acquire must not reset the wait start.
+	iv.Emit(Event{Kind: KindLockConflict, Cycle: 12, PE: 2})
+	iv.Emit(Event{Kind: KindLockAcquire, Cycle: 25, PE: 2})
+	// Another PE acquiring without a recorded wait adds nothing.
+	iv.Emit(Event{Kind: KindLockAcquire, Cycle: 25, PE: 0})
+	bk := iv.Buckets()
+	if len(bk) != 3 {
+		t.Fatalf("%d buckets, want 3", len(bk))
+	}
+	for i, want := range []uint64{5, 10, 5} {
+		if bk[i].LockWait != want {
+			t.Errorf("bucket %d: LockWait %d, want %d", i, bk[i].LockWait, want)
+		}
+	}
+	// The wait was consumed: a fresh acquire adds nothing more.
+	iv.Emit(Event{Kind: KindLockAcquire, Cycle: 29, PE: 2})
+	if iv.Buckets()[2].LockWait != 5 {
+		t.Error("acquire without a pending wait changed LockWait")
+	}
+}
+
+func TestIntervalsCSV(t *testing.T) {
+	iv := NewIntervals(10)
+	iv.Emit(Event{Kind: KindRef, Cycle: 3})
+	iv.Emit(Event{Kind: KindMiss, Cycle: 3})
+	iv.Emit(Event{Kind: KindBusEnd, Cycle: 8, N: 4})
+	var sb strings.Builder
+	if err := iv.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "start,end,refs,misses,bus_cycles,lock_wait,invals,steals\n" +
+		"0,10,1,1,4,0,0,0\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+	if got := iv.Table().String(); !strings.Contains(got, "0-10") {
+		t.Errorf("Table missing the 0-10 window:\n%s", got)
+	}
+}

@@ -1,0 +1,79 @@
+package probe_test
+
+// The probe package cannot import bus, cache or machine (they import
+// probe), so it carries its own name tables and numeric mirrors for
+// the enum bytes that ride in events. These tests pin the two sides
+// together: if an enum is renamed, renumbered or extended, they fail
+// until the probe copies are updated.
+
+import (
+	"testing"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/machine"
+	"pimcache/internal/probe"
+)
+
+func TestCmdNamesMatchBus(t *testing.T) {
+	for c := bus.Command(0); c < bus.NumCommands; c++ {
+		if got, want := probe.CmdName(uint8(c)), c.String(); got != want {
+			t.Errorf("CmdName(%d) = %q, bus says %q", c, got, want)
+		}
+	}
+}
+
+func TestPatternNamesMatchBus(t *testing.T) {
+	for p := bus.Pattern(0); p < bus.NumPatterns; p++ {
+		if got, want := probe.PatternName(uint8(p)), p.String(); got != want {
+			t.Errorf("PatternName(%d) = %q, bus says %q", p, got, want)
+		}
+	}
+}
+
+func TestStateNamesMatchCache(t *testing.T) {
+	for s := cache.INV; s <= cache.EM; s++ {
+		if got, want := probe.StateName(uint8(s)), s.String(); got != want {
+			t.Errorf("StateName(%d) = %q, cache says %q", s, got, want)
+		}
+	}
+	// Both sides format unknown values identically, so EM+1 matching
+	// confirms EM really is the last state.
+	if got, want := probe.StateName(uint8(cache.EM)+1), (cache.EM + 1).String(); got != want {
+		t.Errorf("state beyond EM: probe %q, cache %q", got, want)
+	}
+}
+
+func TestOpNamesMatchCache(t *testing.T) {
+	if probe.NumOps != int(cache.NumOps) {
+		t.Fatalf("probe.NumOps = %d, cache.NumOps = %d", probe.NumOps, cache.NumOps)
+	}
+	if probe.OpU != uint8(cache.OpU) {
+		t.Fatalf("probe.OpU = %d, cache.OpU = %d", probe.OpU, uint8(cache.OpU))
+	}
+	for o := cache.Op(0); o < cache.NumOps; o++ {
+		if got, want := probe.OpName(uint8(o)), o.String(); got != want {
+			t.Errorf("OpName(%d) = %q, cache says %q", o, got, want)
+		}
+	}
+}
+
+func TestStatusesMirrorMachine(t *testing.T) {
+	pairs := []struct {
+		probe uint8
+		mach  machine.Status
+	}{
+		{probe.StatusRunning, machine.StatusRunning},
+		{probe.StatusIdle, machine.StatusIdle},
+		{probe.StatusHalted, machine.StatusHalted},
+		{probe.StatusFailed, machine.StatusFailed},
+	}
+	for _, p := range pairs {
+		if p.probe != uint8(p.mach) {
+			t.Errorf("probe status %d != machine status %d (%s)", p.probe, uint8(p.mach), p.mach)
+		}
+		if got, want := probe.StatusName(p.probe), p.mach.String(); got != want {
+			t.Errorf("StatusName(%d) = %q, machine says %q", p.probe, got, want)
+		}
+	}
+}

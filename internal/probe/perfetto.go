@@ -1,0 +1,153 @@
+package probe
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Perfetto streams probe events into the Chrome trace-event JSON
+// format, which ui.perfetto.dev (and chrome://tracing) open directly.
+// The export lays out one track per PE (tid 0..PEs-1) plus a bus
+// track (tid PEs) inside a single process, on the simulated probe
+// clock (1 "microsecond" = 1 cycle):
+//
+//   - bus transactions become complete ("X") slices on the bus track
+//     and, mirrored, on the requester's track, spanning the cycles
+//     the transaction occupied;
+//   - lock activity, goal scheduling and remote invalidations become
+//     instant ("i") markers on the owning PE's track;
+//   - PE scheduler status (live runs only) becomes back-to-back
+//     slices labelled with the status name.
+//
+// Output is strictly deterministic: event order follows emit order,
+// every number is formatted identically, and no timestamps or
+// randomness from the host leak in — so identical runs produce
+// byte-identical files. Close flushes open status slices and the
+// closing bracket; its error must be checked.
+type Perfetto struct {
+	w     *bufio.Writer
+	err   error
+	pes   int
+	last  uint64  // highest cycle seen; closes dangling status slices
+	stat  []uint8 // current scheduler status per PE
+	since []uint64
+	known []bool
+}
+
+// NewPerfetto starts a trace-event export for a machine with pes
+// processors, writing the JSON preamble and track metadata
+// immediately.
+func NewPerfetto(w io.Writer, pes int) *Perfetto {
+	p := &Perfetto{
+		w:     bufio.NewWriter(w),
+		pes:   pes,
+		stat:  make([]uint8, pes),
+		since: make([]uint64, pes),
+		known: make([]bool, pes),
+	}
+	p.printf("{\"traceEvents\":[\n")
+	p.printf("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"pimcache\"}}")
+	for i := 0; i < pes; i++ {
+		p.printf(",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"PE %d\"}}", i, i)
+	}
+	p.printf(",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"bus\"}}", pes)
+	return p
+}
+
+func (p *Perfetto) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// slice writes a complete event on a track.
+func (p *Perfetto) slice(name, cat string, tid int, ts, dur uint64, args string) {
+	p.printf(",\n{\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":0,\"tid\":%d%s}",
+		name, cat, ts, dur, tid, args)
+}
+
+// instant writes a thread-scoped instant event on a track.
+func (p *Perfetto) instant(name, cat string, tid int, ts uint64, args string) {
+	p.printf(",\n{\"name\":%q,\"cat\":%q,\"ph\":\"i\",\"ts\":%d,\"pid\":0,\"tid\":%d,\"s\":\"t\"%s}",
+		name, cat, ts, tid, args)
+}
+
+// Emit implements Sink.
+func (p *Perfetto) Emit(e Event) {
+	if e.Cycle > p.last {
+		p.last = e.Cycle
+	}
+	switch e.Kind {
+	case KindBusEnd:
+		name := PatternName(e.B)
+		if e.A != CmdNone {
+			name = CmdName(e.A) + " " + name
+		}
+		args := fmt.Sprintf(",\"args\":{\"addr\":\"0x%x\",\"holders\":\"0x%x\",\"pe\":%d}", uint32(e.Addr), e.Arg, e.PE)
+		ts := e.Cycle - uint64(e.N)
+		p.slice(name, "bus", p.pes, ts, uint64(e.N), args)
+		if int(e.PE) >= 0 && int(e.PE) < p.pes {
+			p.slice(name, "bus", int(e.PE), ts, uint64(e.N), args)
+		}
+	case KindLockAcquire:
+		p.instant("lock-acquire", "lock", int(e.PE), e.Cycle, p.addrArgs(e))
+	case KindLockRelease:
+		name := "lock-release"
+		if e.Arg != 0 {
+			name = "lock-release+wake"
+		}
+		p.instant(name, "lock", int(e.PE), e.Cycle, p.addrArgs(e))
+	case KindLockSpin:
+		p.instant("lock-spin", "lock", int(e.PE), e.Cycle, p.addrArgs(e))
+	case KindLockConflict:
+		p.instant("lock-conflict", "lock", int(e.PE), e.Cycle, p.addrArgs(e))
+	case KindCacheState:
+		// Only remote invalidations are rendered; local transitions are
+		// too dense for a timeline and live in HotSpots/Intervals.
+		if e.Arg == ReasonSnoopInval {
+			args := fmt.Sprintf(",\"args\":{\"addr\":\"0x%x\",\"from\":%q}", uint32(e.Addr), StateName(e.A))
+			p.instant("invalidated", "coherence", int(e.PE), e.Cycle, args)
+		}
+	case KindGoalSteal:
+		args := fmt.Sprintf(",\"args\":{\"victim\":%d}", e.Arg)
+		p.instant("goal-steal", "sched", int(e.PE), e.Cycle, args)
+	case KindGoalSuspend:
+		p.instant("goal-suspend", "sched", int(e.PE), e.Cycle, "")
+	case KindGoalResume:
+		p.instant("goal-resume", "sched", int(e.PE), e.Cycle, p.addrArgs(e))
+	case KindPEStatus:
+		pe := int(e.PE)
+		if pe < 0 || pe >= p.pes {
+			return
+		}
+		p.closeStatus(pe, e.Cycle)
+		p.stat[pe], p.since[pe], p.known[pe] = e.A, e.Cycle, true
+	}
+}
+
+func (p *Perfetto) addrArgs(e Event) string {
+	return fmt.Sprintf(",\"args\":{\"addr\":\"0x%x\"}", uint32(e.Addr))
+}
+
+// closeStatus emits the slice for pe's current status ending at now.
+func (p *Perfetto) closeStatus(pe int, now uint64) {
+	if !p.known[pe] || now <= p.since[pe] {
+		return
+	}
+	p.slice(StatusName(p.stat[pe]), "status", pe, p.since[pe], now-p.since[pe], "")
+}
+
+// Close flushes open status slices and the JSON trailer. The export
+// is invalid until Close returns nil.
+func (p *Perfetto) Close() error {
+	for pe := 0; pe < p.pes; pe++ {
+		p.closeStatus(pe, p.last)
+	}
+	p.printf("\n]}\n")
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}

@@ -1,0 +1,170 @@
+package probe
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// feedPerfetto drives one exporter with a representative event mix and
+// returns the finished JSON.
+func feedPerfetto(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	p := NewPerfetto(&buf, 2)
+	events := []Event{
+		{Kind: KindPEStatus, Cycle: 0, PE: 0, A: StatusRunning},
+		{Kind: KindPEStatus, Cycle: 0, PE: 1, A: StatusIdle},
+		{Kind: KindBusEnd, Cycle: 14, PE: 0, Addr: 0x1000, A: 0, B: 0, N: 12, Arg: 0x2},
+		{Kind: KindLockSpin, Cycle: 20, PE: 1, Addr: 0x1004},
+		{Kind: KindLockConflict, Cycle: 21, PE: 1, Addr: 0x1004},
+		{Kind: KindLockAcquire, Cycle: 30, PE: 1, Addr: 0x1004},
+		{Kind: KindLockRelease, Cycle: 40, PE: 1, Addr: 0x1004, Arg: 1},
+		{Kind: KindCacheState, Cycle: 44, PE: 0, Addr: 0x1000, A: 4, B: 0, Arg: ReasonSnoopInval},
+		{Kind: KindCacheState, Cycle: 44, PE: 0, Addr: 0x1000, A: 0, B: 1, Arg: ReasonFetch}, // not rendered
+		{Kind: KindGoalSteal, Cycle: 50, PE: 1, Arg: 0},
+		{Kind: KindGoalSuspend, Cycle: 55, PE: 0},
+		{Kind: KindGoalResume, Cycle: 60, PE: 0, Addr: 0x2000},
+		{Kind: KindPEStatus, Cycle: 70, PE: 0, A: StatusHalted},
+		{Kind: KindBusEnd, Cycle: 90, PE: 1, Addr: 0x3000, A: CmdNone, B: 7, N: 2},
+	}
+	for _, e := range events {
+		p.Emit(e)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestPerfettoValidJSONAndSchema(t *testing.T) {
+	out := feedPerfetto(t)
+	if !json.Valid(out) {
+		t.Fatalf("export is not valid JSON:\n%s", out)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	var slices, instants int
+	for _, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok && ev["ph"] != "M" {
+				t.Errorf("event %v missing %q", ev, key)
+			}
+		}
+		switch ev["ph"] {
+		case "X":
+			slices++
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("complete event %v missing dur", ev)
+			}
+		case "i":
+			instants++
+		}
+	}
+	// 2 bus txns on 2 tracks each, plus PE status slices.
+	if slices < 5 {
+		t.Errorf("%d slices, want at least 5", slices)
+	}
+	// 4 lock events + 1 invalidation + 3 scheduler instants.
+	if instants != 8 {
+		t.Errorf("%d instants, want 8", instants)
+	}
+}
+
+func TestPerfettoBusSliceSpan(t *testing.T) {
+	out := feedPerfetto(t)
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	// The first bus transaction (command F, pattern swapin-mem, 12 cycles
+	// ending at 14) must appear on the bus track (tid 2) and the
+	// requester's track (tid 0), spanning [2, 14).
+	var onBus, onPE bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "F swapin-mem" {
+			if ev.Ts != 2 || ev.Dur != 12 {
+				t.Errorf("bus slice spans ts=%d dur=%d, want 2/12", ev.Ts, ev.Dur)
+			}
+			switch ev.Tid {
+			case 2:
+				onBus = true
+			case 0:
+				onPE = true
+			}
+		}
+	}
+	if !onBus || !onPE {
+		t.Errorf("bus txn on bus track: %v, on requester track: %v — want both", onBus, onPE)
+	}
+	// The command-less word write renders as the bare pattern name.
+	var wordWrite bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "word-write" {
+			wordWrite = true
+		}
+	}
+	if !wordWrite {
+		t.Error("CmdNone transaction should be named by its pattern alone")
+	}
+}
+
+func TestPerfettoDeterministicBytes(t *testing.T) {
+	a, b := feedPerfetto(t), feedPerfetto(t)
+	if !bytes.Equal(a, b) {
+		t.Error("identical event streams produced different exports")
+	}
+}
+
+func TestPerfettoStatusSlices(t *testing.T) {
+	out := feedPerfetto(t)
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			Ts   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	type slice struct {
+		name    string
+		ts, dur uint64
+	}
+	var pe0 []slice
+	for _, ev := range doc.TraceEvents {
+		if ev.Cat == "status" && ev.Tid == 0 {
+			pe0 = append(pe0, slice{ev.Name, ev.Ts, ev.Dur})
+		}
+	}
+	// PE 0: running [0,70) then halted [70,90) closed by Close at the
+	// last seen cycle.
+	want := []slice{{"running", 0, 70}, {"halted", 70, 20}}
+	if len(pe0) != len(want) {
+		t.Fatalf("PE 0 status slices = %+v, want %+v", pe0, want)
+	}
+	for i := range want {
+		if pe0[i] != want[i] {
+			t.Errorf("slice %d = %+v, want %+v", i, pe0[i], want[i])
+		}
+	}
+}

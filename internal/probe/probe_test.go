@@ -1,0 +1,99 @@
+package probe
+
+import "testing"
+
+func TestKindNamesAndScheduler(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		name := k.String()
+		if name == "" || seen[name] {
+			t.Errorf("kind %d: bad or duplicate name %q", k, name)
+		}
+		seen[name] = true
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Errorf("out-of-range kind name = %q", got)
+	}
+	wantSched := map[Kind]bool{
+		KindPEStatus: true, KindGoalSteal: true,
+		KindGoalSuspend: true, KindGoalResume: true,
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		if k.Scheduler() != wantSched[k] {
+			t.Errorf("%v.Scheduler() = %v, want %v", k, k.Scheduler(), wantSched[k])
+		}
+	}
+}
+
+func TestNameHelpers(t *testing.T) {
+	if got := CmdName(CmdNone); got != "-" {
+		t.Errorf("CmdName(CmdNone) = %q, want \"-\"", got)
+	}
+	if got := CmdName(0); got != "F" {
+		t.Errorf("CmdName(0) = %q, want F", got)
+	}
+	if got := PatternName(100); got != "pattern(100)" {
+		t.Errorf("PatternName(100) = %q", got)
+	}
+	if got := ReasonName(ReasonSnoopInval); got != "snoop-inval" {
+		t.Errorf("ReasonName(ReasonSnoopInval) = %q", got)
+	}
+	if got := ReasonName(99); got != "reason(99)" {
+		t.Errorf("ReasonName(99) = %q", got)
+	}
+	if got := StatusName(StatusSpinning); got != "spinning" {
+		t.Errorf("StatusName(StatusSpinning) = %q", got)
+	}
+	if got := StatusName(42); got != "status(42)" {
+		t.Errorf("StatusName(42) = %q", got)
+	}
+}
+
+func TestBufferMemoryEvents(t *testing.T) {
+	b := &Buffer{}
+	b.Emit(Event{Kind: KindRef, Cycle: 1})
+	b.Emit(Event{Kind: KindGoalSteal, Cycle: 2})
+	b.Emit(Event{Kind: KindBusEnd, Cycle: 3})
+	b.Emit(Event{Kind: KindPEStatus, Cycle: 4})
+	if len(b.Events) != 4 {
+		t.Fatalf("Buffer holds %d events, want 4", len(b.Events))
+	}
+	mem := b.MemoryEvents()
+	if len(mem) != 2 || mem[0].Kind != KindRef || mem[1].Kind != KindBusEnd {
+		t.Errorf("MemoryEvents() = %v, want the ref and bus-end only", mem)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) should be nil")
+	}
+	b := &Buffer{}
+	if got := Multi(nil, b, nil); got != Sink(b) {
+		t.Error("Multi with one effective sink should return it directly")
+	}
+	b2 := &Buffer{}
+	m := Multi(b, b2)
+	ev := Event{Kind: KindMiss, Cycle: 7, PE: 3}
+	m.Emit(ev)
+	if len(b.Events) != 1 || len(b2.Events) != 1 || b.Events[0] != ev || b2.Events[0] != ev {
+		t.Error("Multi did not fan the event out to both sinks")
+	}
+}
+
+func TestMemoryOnly(t *testing.T) {
+	if MemoryOnly(nil) != nil {
+		t.Error("MemoryOnly(nil) should be nil")
+	}
+	b := &Buffer{}
+	s := MemoryOnly(b)
+	s.Emit(Event{Kind: KindGoalSuspend})
+	s.Emit(Event{Kind: KindLockSpin})
+	s.Emit(Event{Kind: KindPEStatus})
+	if len(b.Events) != 1 || b.Events[0].Kind != KindLockSpin {
+		t.Errorf("MemoryOnly passed %v, want just the lock-spin", b.Events)
+	}
+}

@@ -23,9 +23,10 @@ func Mean(xs []float64) float64 {
 }
 
 // StdDev returns the population standard deviation of xs, matching the
-// paper's σ rows (0 for fewer than two samples).
+// paper's σ rows. A single sample has zero deviation by definition;
+// only the empty slice is undefined and reported as 0.
 func StdDev(xs []float64) float64 {
-	if len(xs) < 2 {
+	if len(xs) == 0 {
 		return 0
 	}
 	m := Mean(xs)

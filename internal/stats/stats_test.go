@@ -15,8 +15,15 @@ func TestMeanAndStdDev(t *testing.T) {
 	if s := StdDev(xs); math.Abs(s-2) > 1e-12 {
 		t.Errorf("StdDev = %v, want 2", s)
 	}
-	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
-		t.Error("empty/degenerate cases")
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty cases")
+	}
+	// A single sample is not degenerate: its population deviation is a
+	// genuine zero, whatever the value.
+	for _, v := range []float64{0, 1, -3.5, 1e9} {
+		if s := StdDev([]float64{v}); s != 0 {
+			t.Errorf("StdDev([%v]) = %v, want 0", v, s)
+		}
 	}
 }
 
@@ -65,6 +72,25 @@ func TestTableRendering(t *testing.T) {
 	headerLen := len(lines[2]) // header line after title+underline
 	if len(lines[4]) != headerLen && len(lines[5-1]) != headerLen {
 		t.Logf("alignment differs (header %d): ok if ragged label", headerLen)
+	}
+}
+
+func TestTableEmptyRows(t *testing.T) {
+	// A table with columns but no rows renders the header and rule only.
+	tb := &Table{Title: "Empty", Columns: []string{"metric", "value"}}
+	out := tb.String()
+	for _, frag := range []string{"Empty", "metric", "value", "---"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, underline, header, rule — no data lines
+		t.Errorf("empty table rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	// A completely empty table renders as the empty string, not a panic.
+	if got := (&Table{}).String(); got != "" {
+		t.Errorf("zero table = %q, want empty", got)
 	}
 }
 
