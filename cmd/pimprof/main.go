@@ -24,7 +24,6 @@ import (
 
 	"pimcache/internal/bench"
 	"pimcache/internal/bus"
-	"pimcache/internal/cache"
 	"pimcache/internal/cliutil"
 	"pimcache/internal/probe"
 	"pimcache/internal/trace"
@@ -58,35 +57,8 @@ func main() {
 		fatal2(fmt.Errorf("nothing to do: pass -events, -intervals, or -hotspots"))
 	}
 
-	var opts cache.Options
-	switch *optsName {
-	case "none":
-		opts = cache.OptionsNone()
-	case "heap":
-		opts = cache.OptionsHeap()
-	case "goal":
-		opts = cache.OptionsGoal()
-	case "comm":
-		opts = cache.OptionsComm()
-	case "all":
-		opts = cache.OptionsAll()
-	default:
-		fatal2(fmt.Errorf("unknown -opts %q", *optsName))
-	}
-	ccfg := cache.Config{
-		SizeWords: *size, BlockWords: *block, Ways: *ways,
-		LockEntries: 4, Options: opts,
-	}
-	switch *protocol {
-	case "pim":
-	case "illinois":
-		ccfg.Protocol = cache.ProtocolIllinois
-	case "writethrough":
-		ccfg.Protocol = cache.ProtocolWriteThrough
-	default:
-		fatal2(fmt.Errorf("unknown -protocol %q", *protocol))
-	}
-	if err := ccfg.Validate(); err != nil {
+	ccfg, err := cliutil.BuildCacheConfig(*size, *block, *ways, *optsName, *protocol)
+	if err != nil {
 		fatal2(err)
 	}
 

@@ -78,38 +78,9 @@ func main() {
 		}
 		benches = append(benches, b)
 	}
-	var opts cache.Options
-	switch *optsName {
-	case "none":
-		opts = cache.OptionsNone()
-	case "heap":
-		opts = cache.OptionsHeap()
-	case "goal":
-		opts = cache.OptionsGoal()
-	case "comm":
-		opts = cache.OptionsComm()
-	case "all":
-		opts = cache.OptionsAll()
-	default:
-		fmt.Fprintf(os.Stderr, "pimsim: unknown -opts %q\n", *optsName)
-		os.Exit(2)
-	}
-	ccfg := cache.Config{
-		SizeWords: *size, BlockWords: *block, Ways: *ways,
-		LockEntries: 4, Options: opts,
-	}
-	switch *protocol {
-	case "pim":
-	case "illinois":
-		ccfg.Protocol = cache.ProtocolIllinois
-	case "writethrough":
-		ccfg.Protocol = cache.ProtocolWriteThrough
-	default:
-		fmt.Fprintf(os.Stderr, "pimsim: unknown -protocol %q\n", *protocol)
-		os.Exit(2)
-	}
-	if err := ccfg.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "pimsim:", err)
+	ccfg, cfgErr := cliutil.BuildCacheConfig(*size, *block, *ways, *optsName, *protocol)
+	if cfgErr != nil {
+		fmt.Fprintln(os.Stderr, "pimsim:", cfgErr)
 		os.Exit(2)
 	}
 

@@ -32,16 +32,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pimtable:", err)
 		os.Exit(2)
 	}
-	var p cache.Protocol
-	switch *proto {
-	case "pim":
-		p = cache.ProtocolPIM
-	case "illinois":
-		p = cache.ProtocolIllinois
-	case "writethrough":
-		p = cache.ProtocolWriteThrough
-	default:
-		fmt.Fprintf(os.Stderr, "pimtable: unknown protocol %q\n", *proto)
+	p, err := cliutil.ParseProtocol(*proto)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimtable:", err)
 		os.Exit(2)
 	}
 	rows := cache.DeriveTransitionsJobs(p, *jobs)

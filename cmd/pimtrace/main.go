@@ -18,6 +18,7 @@ import (
 	"pimcache/internal/bench/programs"
 	"pimcache/internal/bus"
 	"pimcache/internal/cache"
+	"pimcache/internal/cliutil"
 	"pimcache/internal/machine"
 	"pimcache/internal/mem"
 	"pimcache/internal/stats"
@@ -144,24 +145,8 @@ func replay(args []string) {
 		fatal(fmt.Errorf("replay: one trace file expected"))
 	}
 	tr := readTrace(fs.Arg(0))
-	var opts cache.Options
-	switch *optsName {
-	case "none":
-		opts = cache.OptionsNone()
-	case "heap":
-		opts = cache.OptionsHeap()
-	case "goal":
-		opts = cache.OptionsGoal()
-	case "comm":
-		opts = cache.OptionsComm()
-	case "all":
-		opts = cache.OptionsAll()
-	default:
-		fatal(fmt.Errorf("unknown opts %q", *optsName))
-	}
-	ccfg := cache.Config{SizeWords: *size, BlockWords: *block, Ways: *ways,
-		LockEntries: 4, Options: opts}
-	if err := ccfg.Validate(); err != nil {
+	ccfg, err := cliutil.BuildCacheConfig(*size, *block, *ways, *optsName, "pim")
+	if err != nil {
 		fatal(err)
 	}
 	m := machine.New(machine.Config{

@@ -189,8 +189,12 @@ type Snooper interface {
 	// retained reports whether the snooper still holds a valid copy
 	// afterwards, which tells the requester to install the block shared.
 	SnoopFetch(addr word.Addr, inval bool) (data []word.Word, held, dirty, retained bool)
-	// SnoopInvalidate is invoked for I; any copy is discarded.
-	SnoopInvalidate(addr word.Addr)
+	// SnoopInvalidate is invoked for I; any copy is discarded. It
+	// reports whether the discarded copy was modified, which rides the
+	// snoop response so a requester upgrading a clean copy knows it
+	// must assume write-back ownership (the dirty data now exists only
+	// in its own copy).
+	SnoopInvalidate(addr word.Addr) (wasDirty bool)
 	// Holds reports, without side effects, whether the cache currently
 	// holds a valid copy of the block containing addr. The cache
 	// controller uses it to choose between the ER/RP sub-behaviours,
@@ -222,9 +226,14 @@ type FetchResult struct {
 	// must busy-wait for the matching UL.
 	LockHit bool
 	// Data is the fetched block (nil when LockHit). It aliases a buffer
-	// owned by the bus and is valid only until the next bus transaction:
-	// callers must copy out what they keep (which models the hardware —
-	// the data exists on the bus wires only for the transfer cycles).
+	// owned by the bus and is valid only until the start of the next bus
+	// transaction: callers must copy out what they keep (which models
+	// the hardware — the data exists on the bus wires only for the
+	// transfer cycles). It DOES stay valid across the same transaction's
+	// hidden victim write-back (SwapOutHidden), which models the fetched
+	// block sitting latched on the bus while the victim drains behind
+	// it. Config.PoisonFetchData enforces this contract by scribbling
+	// the buffer at the start of every transaction.
 	Data []word.Word
 	// FromCache reports a cache-to-cache transfer.
 	FromCache bool
@@ -265,6 +274,7 @@ type Bus struct {
 
 	// Presence filters and the reusable fetch buffer (see type comment).
 	noFilters  bool
+	poison     bool
 	presence   map[word.Addr]uint64
 	lockCounts []uint32
 	totalLocks int
@@ -289,12 +299,22 @@ type Config struct {
 	// unfiltered path exists as the equivalence oracle and benchmark
 	// baseline.
 	DisableFilters bool
+	// PoisonFetchData scribbles the reusable fetch buffer with a
+	// recognizable poison pattern at the start of every bus transaction.
+	// Any caller that (illegally) retains FetchResult.Data across a
+	// transaction then reads poison instead of silently stale data. A
+	// debug/verification mode: it changes no statistics, only the bytes
+	// a contract-violating reader would observe. The coherence checker
+	// and the poison-equivalence tests enable it.
+	PoisonFetchData bool
 }
 
 // New creates a bus over the given shared memory.
 func New(cfg Config, memory *mem.Memory) *Bus {
-	if cfg.BlockWords < 1 {
-		panic("bus: block size must be at least one word")
+	if cfg.BlockWords < 1 || cfg.BlockWords&(cfg.BlockWords-1) != 0 {
+		// blockBase masks with blockWords-1; a non-power-of-two size
+		// would silently mis-index instead of failing here.
+		panic(fmt.Sprintf("bus: block size %d not a positive power of two", cfg.BlockWords))
 	}
 	if cfg.Timing.WidthWords < 1 || cfg.Timing.MemCycles < 1 {
 		panic("bus: invalid timing")
@@ -305,8 +325,25 @@ func New(cfg Config, memory *mem.Memory) *Bus {
 		memory:     memory,
 		areaOf:     memory.AreaOf,
 		noFilters:  cfg.DisableFilters,
+		poison:     cfg.PoisonFetchData,
 		presence:   make(map[word.Addr]uint64),
 		blockBuf:   make([]word.Word, cfg.BlockWords),
+	}
+}
+
+// PoisonWord is the pattern PoisonFetchData scribbles into the fetch
+// buffer (plus the word index in the low bits), chosen to be loud in
+// memory dumps and never produced by the KL1 tagged-word encoding.
+const PoisonWord word.Word = 0xBADBADBADBAD0000
+
+// beginTransaction marks the start of a bus transaction: whatever the
+// previous transaction left on the bus wires (the reusable fetch buffer
+// aliased by FetchResult.Data) is dead from here on.
+func (b *Bus) beginTransaction() {
+	if b.poison {
+		for i := range b.blockBuf {
+			b.blockBuf[i] = PoisonWord | word.Word(i)
+		}
 	}
 }
 
@@ -564,6 +601,7 @@ func (b *Bus) lockedBlockElsewhere(requester int, addr word.Addr) bool {
 // LR operation). The returned data aliases a bus-owned buffer valid only
 // until the next transaction (see FetchResult.Data).
 func (b *Bus) Fetch(requester int, addr word.Addr, inval, victimDirty, withLock bool) FetchResult {
+	b.beginTransaction()
 	if withLock {
 		b.stats.Commands[CmdLK]++
 	}
@@ -592,6 +630,7 @@ func (b *Bus) Fetch(requester int, addr word.Addr, inval, victimDirty, withLock 
 // the busy wait has been accounted and the retry proceeds as it would
 // after the unlock broadcast.
 func (b *Bus) FetchForced(requester int, addr word.Addr, inval, victimDirty bool) FetchResult {
+	b.beginTransaction()
 	return b.fetch(requester, addr, inval, victimDirty, false)
 }
 
@@ -699,10 +738,14 @@ func (b *Bus) RemoteHolder(requester int, addr word.Addr) bool {
 }
 
 // Invalidate performs an I transaction for the block containing addr
-// (write hit on a shared block, or LR taking ownership with LK). It
-// returns false when a remote lock directory responded LH, in which case
-// no copies were invalidated.
-func (b *Bus) Invalidate(requester int, addr word.Addr, withLock bool) bool {
+// (write hit on a shared block, or LR taking ownership with LK). ok is
+// false when a remote lock directory responded LH, in which case no
+// copies were invalidated. dirtyKilled reports that an invalidated
+// remote copy was modified: the requester's own copy is now the only
+// one holding that data, so a requester that stays clean after the
+// upgrade would silently lose it — it must take write-back ownership.
+func (b *Bus) Invalidate(requester int, addr word.Addr, withLock bool) (ok, dirtyKilled bool) {
+	b.beginTransaction()
 	if withLock {
 		b.stats.Commands[CmdLK]++
 	}
@@ -715,18 +758,19 @@ func (b *Bus) Invalidate(requester int, addr word.Addr, withLock bool) bool {
 		if b.probe != nil {
 			b.emitAborted(requester, addr, uint8(CmdI), withLock, holders, cy)
 		}
-		return false
+		return false, false
 	}
-	b.invalidate(requester, addr, withLock)
-	return true
+	return true, b.invalidate(requester, addr, withLock)
 }
 
 // ForceInvalidate invalidates without the lock poll; see FetchForced.
-func (b *Bus) ForceInvalidate(requester int, addr word.Addr) {
-	b.invalidate(requester, addr, false)
+// Like Invalidate it reports whether a remote modified copy died.
+func (b *Bus) ForceInvalidate(requester int, addr word.Addr) (dirtyKilled bool) {
+	b.beginTransaction()
+	return b.invalidate(requester, addr, false)
 }
 
-func (b *Bus) invalidate(requester int, addr word.Addr, withLock bool) {
+func (b *Bus) invalidate(requester int, addr word.Addr, withLock bool) (dirtyKilled bool) {
 	b.stats.Commands[CmdI]++
 	var holders uint64
 	if b.probe != nil {
@@ -738,18 +782,22 @@ func (b *Bus) invalidate(requester int, addr word.Addr, withLock bool) {
 	// filtered holder set is exact.
 	for m := b.remoteMask(requester, b.blockBase(addr)); m != 0; m &= m - 1 {
 		if s := b.snoopers[bits.TrailingZeros64(m)]; s != nil {
-			s.SnoopInvalidate(addr)
+			if s.SnoopInvalidate(addr) {
+				dirtyKilled = true
+			}
 		}
 	}
 	if b.probe != nil {
 		b.emitEnd(requester, addr, uint8(CmdI), uint8(PatInval), holders, cy)
 	}
+	return dirtyKilled
 }
 
 // SwapOut writes requester's dirty victim block back to shared memory
 // as a lone transaction (the DW-only pattern; fetch-driven write-backs
 // are costed inside Fetch).
 func (b *Bus) SwapOut(requester int, base word.Addr, data []word.Word) {
+	b.beginTransaction()
 	if b.probe != nil {
 		b.emitBegin(requester, base, probe.CmdNone, 0, false)
 	}
@@ -782,6 +830,7 @@ func (b *Bus) MemoryWriteBack(base word.Addr, data []word.Word) {
 // invalidating all other cached copies (write-through-with-invalidate,
 // the baseline the copy-back protocols are measured against).
 func (b *Bus) WordWrite(requester int, addr word.Addr, w word.Word) {
+	b.beginTransaction()
 	var holders uint64
 	if b.probe != nil {
 		holders = b.actualHolders(requester, addr)
@@ -791,6 +840,8 @@ func (b *Bus) WordWrite(requester int, addr word.Addr, w word.Word) {
 	cy := b.account(PatWordWrite, addr)
 	for m := b.remoteMask(requester, b.blockBase(addr)); m != 0; m &= m - 1 {
 		if s := b.snoopers[bits.TrailingZeros64(m)]; s != nil {
+			// Write-through blocks are never dirty, so the response is
+			// unused here.
 			s.SnoopInvalidate(addr)
 		}
 	}
@@ -806,6 +857,7 @@ func (b *Bus) WordWrite(requester int, addr word.Addr, w word.Word) {
 // busy-waiters, which by definition hold no locks and no copy of the
 // block, so neither presence filter can name them.
 func (b *Bus) Unlock(requester int, addr word.Addr) {
+	b.beginTransaction()
 	b.stats.Commands[CmdUL]++
 	if b.probe != nil {
 		b.emitBegin(requester, addr, uint8(CmdUL), 0, false)

@@ -101,8 +101,13 @@ func (f *fakeSnooper) SnoopFetch(addr word.Addr, inval bool) ([]word.Word, bool,
 	return f.data, true, f.dirty, retained
 }
 
-func (f *fakeSnooper) SnoopInvalidate(word.Addr) { f.invalCount++; f.holds = false }
-func (f *fakeSnooper) Holds(word.Addr) bool      { return f.holds }
+func (f *fakeSnooper) SnoopInvalidate(word.Addr) bool {
+	f.invalCount++
+	wasDirty := f.holds && f.dirty
+	f.holds = false
+	return wasDirty
+}
+func (f *fakeSnooper) Holds(word.Addr) bool { return f.holds }
 
 type fakeLockUnit struct {
 	locked   map[word.Addr]bool
@@ -287,7 +292,7 @@ func TestInvalidate(t *testing.T) {
 	base := b.Memory().Bounds().HeapBase
 	snoops[1].holds = true
 	snoops[2].holds = true
-	if !b.Invalidate(0, base, false) {
+	if ok, _ := b.Invalidate(0, base, false); !ok {
 		t.Fatal("invalidate aborted unexpectedly")
 	}
 	if snoops[1].invalCount != 1 || snoops[2].invalCount != 1 {
@@ -299,7 +304,7 @@ func TestInvalidate(t *testing.T) {
 	}
 	// A locked word blocks the invalidation.
 	locks[1].locked[base+8] = true
-	if b.Invalidate(0, base+8, true) {
+	if ok, _ := b.Invalidate(0, base+8, true); ok {
 		t.Error("invalidate of locked word succeeded")
 	}
 	b.ForceInvalidate(0, base+8) // must not consult locks

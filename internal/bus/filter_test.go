@@ -49,11 +49,14 @@ func (n *notifySnooper) SnoopFetch(a word.Addr, inval bool) ([]word.Word, bool, 
 	return data, true, dirty, true
 }
 
-func (n *notifySnooper) SnoopInvalidate(a word.Addr) {
+func (n *notifySnooper) SnoopInvalidate(a word.Addr) bool {
 	n.invals++
 	if _, ok := n.blocks[n.base(a)]; ok {
+		wasDirty := n.dirty[n.base(a)]
 		n.drop(n.base(a))
+		return wasDirty
 	}
+	return false
 }
 
 func (n *notifySnooper) Holds(a word.Addr) bool { _, ok := n.blocks[n.base(a)]; return ok }
@@ -138,7 +141,7 @@ func TestFilteredInvalidateVisitsOnlyHolders(t *testing.T) {
 	snoops[2].install(base, block4(10), false)
 	snoops[6].install(base, block4(10), false)
 
-	if ok := b.Invalidate(1, base, false); !ok {
+	if ok, _ := b.Invalidate(1, base, false); !ok {
 		t.Fatal("invalidate reported lock hit on lock-free system")
 	}
 	for i, s := range snoops {

@@ -181,7 +181,9 @@ func (c *Cache) install(l *line, base word.Addr, st State, reason uint64) {
 // on an already-invalid line.
 func (c *Cache) drop(l *line, reason uint64) {
 	if l.state.Valid() {
-		c.bus.BlockDropped(c.pe, l.base)
+		if !Faults.SkipFilterDrop {
+			c.bus.BlockDropped(c.pe, l.base)
+		}
 		if c.probe != nil {
 			c.emitState(l.base, l.state, INV, reason)
 		}
@@ -293,12 +295,14 @@ func (c *Cache) writeInternal(a word.Addr, w word.Word, op Op) {
 		case S, SM:
 			// Writing a shared block: invalidate the other copies. The
 			// block stays non-exclusive (SM) if a remote PE holds a lock
-			// on one of its words; see Bus.RemoteLockInBlock.
-			if !c.bus.Invalidate(c.pe, a, false) {
+			// on one of its words; see Bus.RemoteLockInBlock. A killed
+			// remote dirty copy needs no special handling here: the
+			// writer's copy becomes modified either way.
+			if ok, _ := c.bus.Invalidate(c.pe, a, false); !ok {
 				c.stats.BusyWaits++
 				c.bus.ForceInvalidate(c.pe, a)
 			}
-			if c.bus.RemoteLockInBlock(c.pe, a) {
+			if c.bus.RemoteLockInBlock(c.pe, a) && !Faults.GrantEMOverRemoteLock {
 				c.setState(l, SM, probe.ReasonWrite)
 			} else {
 				c.setState(l, EM, probe.ReasonWrite)
@@ -311,7 +315,7 @@ func (c *Cache) writeInternal(a word.Addr, w word.Word, op Op) {
 	}
 	c.miss(a, op)
 	l := c.fetchInto(a, true) // fetch-on-write, invalidating other copies
-	if l.state == S || l.state == SM {
+	if (l.state == S || l.state == SM) && !Faults.GrantEMOverRemoteLock {
 		// Lock-forced non-exclusive grant: stay shared-modified.
 		c.setState(l, SM, probe.ReasonWrite)
 	} else {
@@ -534,17 +538,26 @@ func (c *Cache) LockRead(a word.Addr) (word.Word, bool) {
 		}
 		// Shared hit: LK + I to take ownership. The block upgrades to an
 		// exclusive state unless a remote lock on another of its words
-		// forbids exclusivity.
-		if !c.bus.Invalidate(c.pe, a, true) {
+		// forbids exclusivity. If the I killed a remote modified copy
+		// (this clean S copy was supplied by a dirty SM owner), this
+		// cache now holds the only copy of that data and must take over
+		// write-back ownership — upgrading to EC here would silently
+		// revert the block to stale memory on eviction. Found by the
+		// internal/check differential fuzzer.
+		ok, dirtyKilled := c.bus.Invalidate(c.pe, a, true)
+		if !ok {
 			c.beginBusyWait(a)
 			return 0, false
 		}
-		if !c.bus.RemoteLockInBlock(c.pe, a) {
-			if l.state == SM {
-				c.setState(l, EM, probe.ReasonLock)
-			} else {
-				c.setState(l, EC, probe.ReasonLock)
+		switch {
+		case c.bus.RemoteLockInBlock(c.pe, a):
+			if dirtyKilled && l.state == S {
+				c.setState(l, SM, probe.ReasonLock)
 			}
+		case l.state == SM || dirtyKilled:
+			c.setState(l, EM, probe.ReasonLock)
+		default:
+			c.setState(l, EC, probe.ReasonLock)
 		}
 		c.acquireLock(a)
 		return l.data[a&c.offMask], true
@@ -680,15 +693,23 @@ func (c *Cache) SnoopFetch(a word.Addr, inval bool) (data []word.Word, held, dir
 	return data, true, dirty, true
 }
 
-// SnoopInvalidate implements bus.Snooper.
-func (c *Cache) SnoopInvalidate(a word.Addr) {
-	if l := c.lookup(a); l != nil {
-		// The writer's copy holds identical base content plus its new
-		// store, so a dirty copy dies silently; ownership passes to the
-		// writer, which leaves the I command as EM.
-		c.drop(l, probe.ReasonSnoopInval)
-		c.stats.Invalidations++
+// SnoopInvalidate implements bus.Snooper. It reports whether the
+// discarded copy was modified: the requester's copy holds the same base
+// content (it was supplied from this one), so the data itself survives,
+// but the requester must take over write-back ownership or memory never
+// sees it — see the dirtyKilled handling in writeInternal and LockRead.
+func (c *Cache) SnoopInvalidate(a word.Addr) bool {
+	if Faults.SkipSnoopInvalidate {
+		return false
 	}
+	l := c.lookup(a)
+	if l == nil {
+		return false
+	}
+	dirty := l.state.Dirty()
+	c.drop(l, probe.ReasonSnoopInval)
+	c.stats.Invalidations++
+	return dirty
 }
 
 // Holds implements bus.Snooper.

@@ -132,6 +132,13 @@ type Config struct {
 	// models nothing; the equivalence tests and baseline benchmarks
 	// enable it.
 	DisableBusFilters bool
+	// PoisonBusData, when set, makes the bus scribble its reusable
+	// fetch buffer at the start of every transaction (see
+	// bus.Config.PoisonFetchData), so any code that illegally retains
+	// FetchResult.Data across a transaction reads poison instead of
+	// silently stale data. A debug knob that models nothing; the
+	// coherence checker and the poison-equivalence tests enable it.
+	PoisonBusData bool
 }
 
 // DefaultConfig is the paper's base cache: 4Kword data, 4-word blocks,

@@ -1,0 +1,28 @@
+package cache
+
+// FaultInjection holds deliberate protocol mutations used by the
+// coherence model checker (internal/check) to verify its own power: each
+// field flips exactly one protocol decision that the checker's invariant
+// oracles or differential runs must detect and shrink to a small repro.
+//
+// The knobs exist only for that self-test. They model nothing, default
+// to off, and must never be set outside tests; the zero value is the
+// correct protocol.
+type FaultInjection struct {
+	// GrantEMOverRemoteLock makes writeInternal grant EM even when a
+	// remote PE holds a lock on a word of the block, breaking the
+	// no-exclusive-block-over-a-remote-lock invariant (a later LR can
+	// then hit the exclusive block and acquire the same lock twice).
+	GrantEMOverRemoteLock bool
+	// SkipSnoopInvalidate makes SnoopInvalidate ignore the I command,
+	// leaving a stale copy alive beside the writer's modified one.
+	SkipSnoopInvalidate bool
+	// SkipFilterDrop makes drop forget to notify the bus presence
+	// filter, leaving a stale holder bit in the snoop-filter mask.
+	SkipFilterDrop bool
+}
+
+// Faults is the package-wide fault-injection state. Tests that set a
+// field must restore the zero value before finishing (and must not run
+// in parallel with other cache users).
+var Faults FaultInjection

@@ -1,0 +1,155 @@
+package cache
+
+import (
+	"testing"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/mem"
+)
+
+// rig1 builds n direct-mapped caches (16 data words, 4-word blocks ->
+// 4 sets, one way), so any two blocks 16 words apart collide.
+func rig1(t *testing.T, n int, opts Options, proto Protocol) (*mem.Memory, *bus.Bus, []*Cache) {
+	t.Helper()
+	m := mem.New(mem.Layout{InstWords: 64, HeapWords: 1024, GoalWords: 256, SuspWords: 64, CommWords: 64})
+	b := bus.New(bus.Config{Timing: bus.DefaultTiming(), BlockWords: 4}, m)
+	caches := make([]*Cache, n)
+	for i := range caches {
+		caches[i] = New(Config{
+			SizeWords:   16,
+			BlockWords:  4,
+			Ways:        1,
+			LockEntries: 4,
+			Options:     opts,
+			Protocol:    proto,
+			VerifyDW:    true,
+		}, i, b)
+	}
+	return m, b, caches
+}
+
+// TestLockReadUpgradeTakesDirtyOwnership pins the fix for a data-loss
+// bug found by the internal/check differential fuzzer (see
+// internal/check/testdata/repro/lr-upgrade-dirty-loss.txt): when a
+// LockRead upgrades a clean shared copy with LK+I and the invalidation
+// kills a remote dirty (SM) owner, the upgrading cache holds the only
+// copy of the modified data and must take it over as EM. Granting EC
+// let a later eviction silently revert the block to stale memory.
+func TestLockReadUpgradeTakesDirtyOwnership(t *testing.T) {
+	m, _, cs := rig(t, 2, OptionsNone(), ProtocolPIM)
+	a := heapBase(m)
+
+	cs[0].Write(a, word.Int(19)) // PE0: EM, memory stale
+	if got := cs[1].Read(a); got.IntVal() != 19 {
+		t.Fatalf("read %v, want 19", got)
+	}
+	// PE0 supplied dirty: PE0 SM (owner), PE1 S.
+	if st := cs[0].StateOf(a); st != SM {
+		t.Fatalf("PE0 state = %v, want SM", st)
+	}
+	if st := cs[1].StateOf(a); st != S {
+		t.Fatalf("PE1 state = %v, want S", st)
+	}
+
+	v, ok := cs[1].LockRead(a)
+	if !ok || v.IntVal() != 19 {
+		t.Fatalf("LockRead = %v, %v", v, ok)
+	}
+	// The upgrade killed PE0's SM copy; PE1 must own the data now.
+	if st := cs[1].StateOf(a); st != EM {
+		t.Fatalf("PE1 state after LR upgrade = %v, want EM (dirty ownership)", st)
+	}
+	cs[1].Unlock(a) // release without writing: the block stays as-is
+
+	// The modified data must survive PE1 giving up the block.
+	cs[1].Flush()
+	if got := m.Read(a); got.IntVal() != 19 {
+		t.Fatalf("memory after flush = %v, want 19 (dirty data lost)", got)
+	}
+}
+
+// TestLockReadUpgradeUnderRemoteLockTakesSM is the same scenario with a
+// remote lock elsewhere in the block: exclusivity is denied, so the
+// upgrading cache must settle in SM — still dirty, still the owner.
+func TestLockReadUpgradeUnderRemoteLockTakesSM(t *testing.T) {
+	m, _, cs := rig(t, 3, OptionsNone(), ProtocolPIM)
+	a := heapBase(m)
+
+	// PE2 locks another word of the block, denying exclusivity to all.
+	if _, ok := cs[2].LockRead(a + 1); !ok {
+		t.Fatal("PE2 lock denied")
+	}
+	cs[0].Write(a, word.Int(31)) // PE0 dirty owner (SM: remote lock in block)
+	if st := cs[0].StateOf(a); st != SM {
+		t.Fatalf("PE0 state = %v, want SM", st)
+	}
+	if got := cs[1].Read(a); got.IntVal() != 31 {
+		t.Fatalf("read %v, want 31", got)
+	}
+	if _, ok := cs[1].LockRead(a); !ok {
+		t.Fatal("PE1 lock denied")
+	}
+	if st := cs[1].StateOf(a); st != SM {
+		t.Fatalf("PE1 state after LR upgrade = %v, want SM (remote lock denies EM)", st)
+	}
+	cs[1].Unlock(a)
+	cs[2].Unlock(a + 1)
+	cs[1].Flush()
+	if got := m.Read(a); got.IntVal() != 31 {
+		t.Fatalf("memory after flush = %v, want 31", got)
+	}
+}
+
+// TestFetchEvictsVictimBeforeFill pins the write-back-vs-fill ordering
+// in fetchInto for a same-set collision: the dirty victim's data must
+// reach memory before the incoming block is copied into the line
+// buffer. Filling first would write the NEW block's words back to the
+// OLD block's address.
+func TestFetchEvictsVictimBeforeFill(t *testing.T) {
+	m, _, cs := rig1(t, 1, OptionsNone(), ProtocolPIM)
+	a := heapBase(m)
+	b := a + 16 // same set, different tag (4 sets x 4-word blocks)
+	m.Write(b+2, word.Int(55))
+
+	cs[0].Write(a, word.Int(7)) // dirty in the only way of its set
+	if got := cs[0].Read(b + 2); got.IntVal() != 55 {
+		t.Fatalf("read %v, want 55", got)
+	}
+	// The fetch of b evicted dirty a through the hidden write-back.
+	if got := m.Read(a); got.IntVal() != 7 {
+		t.Fatalf("memory[a] = %v after eviction, want 7 (victim written after fill?)", got)
+	}
+	if st := cs[0].StateOf(a); st != INV {
+		t.Fatalf("victim state = %v, want INV", st)
+	}
+	// And the refetch sees the written-back value, not block b's data.
+	if got := cs[0].Read(a); got.IntVal() != 7 {
+		t.Fatalf("refetched a = %v, want 7", got)
+	}
+}
+
+// TestDirectWriteEvictsVictimBeforeZeroFill covers the same hazard on
+// the DW allocation path, which zero-fills the line instead of
+// fetching: the dirty victim must be swapped out before the zeroing.
+func TestDirectWriteEvictsVictimBeforeZeroFill(t *testing.T) {
+	m, _, cs := rig1(t, 1, OptionsHeap(), ProtocolPIM)
+	a := heapBase(m)
+	b := a + 16 // same set
+
+	cs[0].Write(a, word.Int(9))       // dirty victim
+	cs[0].DirectWrite(b, word.Int(1)) // fresh-block DW: evicts a, zero-fills
+	if got := m.Read(a); got.IntVal() != 9 {
+		t.Fatalf("memory[a] = %v after DW eviction, want 9", got)
+	}
+	if got, _ := cs[0].PeekWord(b); got.IntVal() != 1 {
+		t.Fatalf("DW word = %v, want 1", got)
+	}
+	if got, _ := cs[0].PeekWord(b + 1); got != 0 {
+		t.Fatalf("DW block word 1 = %v, want 0 (zero-filled)", got)
+	}
+	cs[0].Flush()
+	if got := m.Read(b); got.IntVal() != 1 {
+		t.Fatalf("memory[b] = %v after flush, want 1", got)
+	}
+}

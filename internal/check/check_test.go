@@ -1,0 +1,336 @@
+package check
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pimcache/internal/cache"
+)
+
+// randomInput produces one raw generator input of n op groups.
+func randomInput(r *rand.Rand, n int) []byte {
+	data := make([]byte, 1+3*n)
+	r.Read(data)
+	return data
+}
+
+// TestDecodeDeterministic pins the decoder's total-function property:
+// same bytes, same schedule; every schedule is contract-legal (lock
+// discipline, DW first-touch) by construction.
+func TestDecodeDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		data := randomInput(r, 1+r.Intn(80))
+		a, b := Decode(data), Decode(data)
+		if a == nil {
+			t.Fatalf("input %d: decode returned nil for %d bytes", i, len(data))
+		}
+		if a.String() != b.String() {
+			t.Fatalf("input %d: decode not deterministic", i)
+		}
+		// Lock discipline: per-PE ascending acquisition, every lock
+		// released, never more than maxHeldLocks held.
+		held := map[int][]int{}
+		for _, op := range a.Ops {
+			switch op.Kind {
+			case cache.OpLR:
+				hs := held[op.PE]
+				if len(hs) > 0 && int(op.Addr) <= hs[len(hs)-1] {
+					t.Fatalf("input %d: PE%d locks %#x after %#x (not ascending)",
+						i, op.PE, op.Addr, hs[len(hs)-1])
+				}
+				held[op.PE] = append(hs, int(op.Addr))
+				if len(held[op.PE]) > maxHeldLocks {
+					t.Fatalf("input %d: PE%d holds %d locks", i, op.PE, len(held[op.PE]))
+				}
+			case cache.OpUW, cache.OpU:
+				hs := held[op.PE]
+				found := false
+				for j, h := range hs {
+					if h == int(op.Addr) {
+						held[op.PE] = append(hs[:j], hs[j+1:]...)
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("input %d: PE%d releases unheld %#x", i, op.PE, op.Addr)
+				}
+			}
+		}
+		for pe, hs := range held {
+			if len(hs) != 0 {
+				t.Fatalf("input %d: PE%d ends holding %d locks", i, pe, len(hs))
+			}
+		}
+	}
+}
+
+// TestRandomSchedules is the deterministic property-test corpus: a
+// seeded stream of generated schedules, each run under the full
+// protocol/optimization/filter matrix against the flat model and the
+// invariant oracles. Any failure prints a ready-to-commit repro.
+func TestRandomSchedules(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 40
+	}
+	r := rand.New(rand.NewSource(1989)) // the paper's year, for luck
+	for i := 0; i < n; i++ {
+		data := randomInput(r, 4+r.Intn(60))
+		if f := Check(data); f != nil {
+			shrunk := Shrink(data, func(d []byte) bool { return Check(d) != nil })
+			t.Fatalf("schedule %d failed: %v\n%s", i, f,
+				FormatRepro(shrunk, "", Check(shrunk).Error()))
+		}
+	}
+}
+
+// faultFlag maps a repro-file fault name to its cache.Faults knob.
+func faultFlag(t *testing.T, name string) *bool {
+	t.Helper()
+	switch name {
+	case "GrantEMOverRemoteLock":
+		return &cache.Faults.GrantEMOverRemoteLock
+	case "SkipSnoopInvalidate":
+		return &cache.Faults.SkipSnoopInvalidate
+	case "SkipFilterDrop":
+		return &cache.Faults.SkipFilterDrop
+	}
+	t.Fatalf("unknown fault %q", name)
+	return nil
+}
+
+// TestMutationKill is the checker's self-test: each seeded protocol
+// mutation (a wrong exclusivity grant over a remote lock, a skipped
+// snoop invalidation, a stale presence-filter entry) must be caught by
+// the checker on a generated schedule, and the shrinker must reduce the
+// catch to at most 20 operations. With the mutations off the same
+// inputs must pass — proving the checker's alarms are the mutations,
+// not noise.
+func TestMutationKill(t *testing.T) {
+	for _, name := range []string{
+		"GrantEMOverRemoteLock", "SkipSnoopInvalidate", "SkipFilterDrop",
+	} {
+		t.Run(name, func(t *testing.T) {
+			flag := faultFlag(t, name)
+			*flag = true
+			defer func() { *flag = false }()
+
+			r := rand.New(rand.NewSource(42))
+			var caught []byte
+			for i := 0; i < 400 && caught == nil; i++ {
+				data := randomInput(r, 8+r.Intn(60))
+				if Check(data) != nil {
+					caught = data
+				}
+			}
+			if caught == nil {
+				t.Fatalf("mutation %s survived 400 schedules", name)
+			}
+			shrunk := Shrink(caught, func(d []byte) bool { return Check(d) != nil })
+			s := Decode(shrunk)
+			f := Check(shrunk)
+			if f == nil {
+				t.Fatalf("shrunk input no longer fails")
+			}
+			t.Logf("%s killed by %d ops (from %d):\n%v", name, len(s.Ops),
+				len(Decode(caught).Ops), f)
+			if len(s.Ops) > 20 {
+				t.Errorf("shrunk repro has %d ops, want <= 20:\n%s", len(s.Ops), s)
+			}
+
+			// The same input must pass with the mutation reverted: the
+			// checker is detecting the seeded bug, not tripping on its
+			// own contracts.
+			*flag = false
+			if f := Check(shrunk); f != nil {
+				t.Errorf("shrunk repro fails even without the mutation: %v", f)
+			}
+			*flag = true
+		})
+	}
+}
+
+// TestGenerateReproCorpus regenerates testdata/repro when run with
+// CHECK_GEN_REPROS=1: one shrunk repro per fault-injection knob, found
+// by the same search TestMutationKill performs. Normal runs skip it;
+// TestReproCorpus replays the generated files.
+func TestGenerateReproCorpus(t *testing.T) {
+	if os.Getenv("CHECK_GEN_REPROS") == "" {
+		t.Skip("set CHECK_GEN_REPROS=1 to regenerate testdata/repro")
+	}
+	if err := os.MkdirAll(filepath.Join("testdata", "repro"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"GrantEMOverRemoteLock", "SkipSnoopInvalidate", "SkipFilterDrop",
+	} {
+		flag := faultFlag(t, name)
+		*flag = true
+		r := rand.New(rand.NewSource(42))
+		var caught []byte
+		for i := 0; i < 400 && caught == nil; i++ {
+			data := randomInput(r, 8+r.Intn(60))
+			if Check(data) != nil {
+				caught = data
+			}
+		}
+		if caught == nil {
+			*flag = false
+			t.Fatalf("mutation %s not caught", name)
+		}
+		shrunk := Shrink(caught, func(d []byte) bool { return Check(d) != nil })
+		text := FormatRepro(shrunk, name, Check(shrunk).Error())
+		*flag = false
+		file := filepath.Join("testdata", "repro", "fault-"+strings.ToLower(name)+".txt")
+		if err := os.WriteFile(file, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d ops)", file, len(Decode(shrunk).Ops))
+	}
+}
+
+// TestReproCorpus replays every pinned repro under testdata/repro: a
+// plain repro must pass (it records a fixed bug), and a "fault" repro
+// must fail under its named mutation and pass without it.
+func TestReproCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "repro", "*.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no repro files checked in")
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			text, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := ParseRepro(text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Fault == "" {
+				if f := Check(rep.Raw); f != nil {
+					t.Fatalf("pinned repro regressed: %v", f)
+				}
+				return
+			}
+			flag := faultFlag(t, rep.Fault)
+			*flag = true
+			f := Check(rep.Raw)
+			*flag = false
+			if f == nil {
+				t.Fatalf("repro no longer fails under fault %s", rep.Fault)
+			}
+			if f2 := Check(rep.Raw); f2 != nil {
+				t.Fatalf("repro fails even without fault %s: %v", rep.Fault, f2)
+			}
+		})
+	}
+}
+
+// TestReproRoundTrip pins the repro file format.
+func TestReproRoundTrip(t *testing.T) {
+	data := []byte{0x03, 0x04, 0x00, 0x07, 0x0c, 0x01, 0x05}
+	text := FormatRepro(data, "SkipFilterDrop", "block 0x100: bad mask\nsecond line")
+	rep, err := ParseRepro([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Raw) != string(data) {
+		t.Fatalf("raw bytes: got %x, want %x", rep.Raw, data)
+	}
+	if rep.Fault != "SkipFilterDrop" {
+		t.Fatalf("fault: got %q", rep.Fault)
+	}
+	if !strings.Contains(text, "# block 0x100: bad mask") {
+		t.Fatalf("failure text not commented:\n%s", text)
+	}
+}
+
+// TestShrinkIsMinimalExample sanity-checks the shrinker on a synthetic
+// predicate (input contains at least 5 LR ops): the result must still
+// satisfy the predicate and be no larger than the input.
+func TestShrinkSynthetic(t *testing.T) {
+	pred := func(d []byte) bool {
+		s := Decode(d)
+		if s == nil {
+			return false
+		}
+		locks := 0
+		for _, op := range s.Ops {
+			if op.Kind == cache.OpLR {
+				locks++
+			}
+		}
+		return locks >= 5
+	}
+	r := rand.New(rand.NewSource(3))
+	var data []byte
+	for data == nil {
+		c := randomInput(r, 100)
+		if pred(c) {
+			data = c
+		}
+	}
+	shrunk := Shrink(data, pred)
+	if !pred(shrunk) {
+		t.Fatal("shrunk input no longer satisfies the predicate")
+	}
+	if len(shrunk) > len(data) {
+		t.Fatalf("shrink grew the input: %d > %d", len(shrunk), len(data))
+	}
+	// 5 LRs need at most 5 groups plus the header.
+	if got := len(Decode(shrunk).Ops); got > 12 {
+		t.Errorf("shrunk to %d ops, expected near-minimal (<= 12)", got)
+	}
+}
+
+// TestScheduleConfigIndependence pins the scheduling argument the
+// differential oracle rests on: whether a PE blocks depends only on the
+// lock map, which the flat model tracks, so the executed interleaving —
+// and therefore the model's predictions — is identical across cache
+// configurations. A violation would show up as a model mismatch in one
+// configuration only; this test just documents the property by running
+// a lock-heavy schedule across the matrix.
+func TestScheduleConfigIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		// Bias toward lock traffic: selectors 4,5,13 (LR), 6,7,15
+		// (releases), 12 (writes into the lock blocks).
+		n := 30 + r.Intn(30)
+		data := make([]byte, 1+3*n)
+		data[0] = 3 // 4 PEs
+		for g := 1; g+2 < len(data); g += 3 {
+			sel := []byte{4, 5, 13, 6, 7, 15, 12, 12, 14, 0}[r.Intn(10)]
+			data[g] = sel | byte(r.Intn(16))<<4
+			data[g+1] = byte(r.Intn(256))
+			data[g+2] = byte(r.Intn(256))
+		}
+		if f := Check(data); f != nil {
+			shrunk := Shrink(data, func(d []byte) bool { return Check(d) != nil })
+			t.Fatalf("lock-heavy schedule %d failed: %v\n%s", i, f,
+				FormatRepro(shrunk, "", Check(shrunk).Error()))
+		}
+	}
+}
+
+func BenchmarkCheck(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	data := randomInput(r, 40)
+	if Check(data) != nil {
+		b.Fatal("benchmark input fails")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := Check(data); f != nil {
+			b.Fatal(f)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzCoherence is the native fuzz entry: any byte string decodes to a
+// legal schedule (Decode is total and normalizing), which then runs
+// under the full protocol/optimization/filter matrix against the flat
+// reference model and every invariant oracle. The checked-in seeds
+// under testdata/fuzz/FuzzCoherence cover each op class and the shapes
+// that found real bugs; CI runs this target briefly on every push
+// (see the fuzz-smoke job), and -fuzz can run it indefinitely.
+//
+// When this fails, shrink and pin the catch:
+//
+//	f := Check(data)
+//	shrunk := Shrink(data, func(d []byte) bool { return Check(d) != nil })
+//	os.WriteFile("testdata/repro/<name>.txt",
+//	    []byte(FormatRepro(shrunk, "", Check(shrunk).Error())), 0o644)
+func FuzzCoherence(f *testing.F) {
+	// The repro that found the LR-upgrade ownership-loss bug.
+	f.Add([]byte{0xb5, 0x8c, 0xbf, 0x13, 0x1e, 0x16, 0x28, 0xd4, 0x57, 0x34})
+	// A few deterministic pseudo-random schedules of increasing size.
+	r := rand.New(rand.NewSource(23))
+	for _, n := range []int{4, 12, 30, 60} {
+		f.Add(randomInput(r, n))
+	}
+	// One schedule per op-class selector so coverage starts broad.
+	for sel := byte(0); sel < 16; sel++ {
+		f.Add([]byte{3, sel, 0x11, 0x42, sel | 0x30, 0x07, 0x99, sel | 0x10, 0x2a, 0x05})
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return // bound runtime; long inputs add nothing over medium ones
+		}
+		if fail := Check(data); fail != nil {
+			shrunk := Shrink(data, func(d []byte) bool { return Check(d) != nil })
+			t.Fatalf("%v\nrepro file:\n%s", fail,
+				FormatRepro(shrunk, "", Check(shrunk).Error()))
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package check
+
+import (
+	"fmt"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/probe"
+)
+
+// checkInvariants runs the per-transition oracles over every watched
+// block and lock word. It is called after every executed operation, so
+// any violation is pinned to the op that introduced it.
+func (h *harness) checkInvariants(idx int, op Op) *Failure {
+	fail := func(msg string) *Failure { return h.fail(idx, op, msg) }
+	for _, base := range PoolBlocks() {
+		if f := h.checkBlock(base, fail); f != nil {
+			return f
+		}
+	}
+	if f := h.checkLocks(fail); f != nil {
+		return f
+	}
+	return nil
+}
+
+// checkBlock verifies the single-block protocol invariants:
+//
+//   - an exclusive (EC/EM) copy is the only copy anywhere;
+//   - at most one dirty (EM/SM) copy exists;
+//   - all valid copies hold identical data;
+//   - with no dirty owner, every copy equals shared memory (a stale
+//     clean copy is unreachable: invalidations kill remote copies
+//     before a write commits);
+//   - the bus presence filter's holder mask equals the ground-truth
+//     scan of every cache.
+func (h *harness) checkBlock(base word.Addr, fail func(string) *Failure) *Failure {
+	holders, exclusive, dirty := 0, 0, 0
+	var refData [BlockWords]word.Word
+	refPE := -1
+	for pe, c := range h.caches {
+		st := c.StateOf(base)
+		if !st.Valid() {
+			continue
+		}
+		holders++
+		if st.Exclusive() {
+			exclusive++
+		}
+		if st.Dirty() {
+			dirty++
+		}
+		var data [BlockWords]word.Word
+		for i := range data {
+			data[i], _ = c.PeekWord(base + word.Addr(i))
+		}
+		if refPE < 0 {
+			refData, refPE = data, pe
+		} else if data != refData {
+			return fail(fmt.Sprintf("block %#x: PE%d holds %v, PE%d holds %v",
+				base, refPE, refData, pe, data))
+		}
+	}
+	if exclusive > 0 && holders > 1 {
+		return fail(fmt.Sprintf("block %#x: exclusive copy among %d holders", base, holders))
+	}
+	if dirty > 1 {
+		return fail(fmt.Sprintf("block %#x: %d dirty copies", base, dirty))
+	}
+	if dirty == 0 && holders > 0 {
+		for i := range refData {
+			if mv := h.mem.Read(base + word.Addr(i)); mv != refData[i] {
+				return fail(fmt.Sprintf(
+					"block %#x word %d: clean copies hold %v but memory holds %v",
+					base, i, refData[i], mv))
+			}
+		}
+	}
+	if got, want := h.bus.HolderMask(base), h.bus.ScanHolders(base); got != want {
+		return fail(fmt.Sprintf(
+			"block %#x: presence filter mask %#x, true holder set %#x", base, got, want))
+	}
+	return nil
+}
+
+// checkLocks verifies the lock-layer invariants: at most one holder per
+// word (and it is the PE the model names), per-PE lock-filter counts
+// match the directories, and no remote cache holds a locked word's
+// block exclusively (the invariant that makes the zero-bus LR
+// hit-exclusive fast path safe).
+func (h *harness) checkLocks(fail func(string) *Failure) *Failure {
+	total := 0
+	for pe, c := range h.caches {
+		inUse := c.LocksInUse()
+		total += inUse
+		if got := h.bus.LockCount(pe); got != inUse {
+			return fail(fmt.Sprintf(
+				"PE%d: bus lock filter counts %d, directory holds %d", pe, got, inUse))
+		}
+	}
+	if got := h.bus.TotalLockCount(); got != total {
+		return fail(fmt.Sprintf("bus lock filter total %d, directories hold %d", got, total))
+	}
+	for _, a := range lockPool() {
+		holder := -1
+		for pe, c := range h.caches {
+			if !c.HeldLock(a) {
+				continue
+			}
+			if holder >= 0 {
+				return fail(fmt.Sprintf("lock %#x held by both PE%d and PE%d", a, holder, pe))
+			}
+			holder = pe
+		}
+		owner, locked := h.md.locks[a]
+		switch {
+		case locked && holder != owner:
+			return fail(fmt.Sprintf("lock %#x: model owner PE%d, directory holder PE%d",
+				a, owner, holder))
+		case !locked && holder >= 0:
+			return fail(fmt.Sprintf("lock %#x held by PE%d but free in the model", a, holder))
+		}
+		if holder < 0 {
+			continue
+		}
+		base := a &^ word.Addr(BlockWords-1)
+		for pe, c := range h.caches {
+			if pe == holder {
+				continue
+			}
+			if st := c.StateOf(base); st.Exclusive() {
+				return fail(fmt.Sprintf(
+					"lock %#x held by PE%d but PE%d holds its block %s", a, holder, pe, st))
+			}
+		}
+	}
+	return nil
+}
+
+// cycleAudit is a probe sink that accumulates the per-transaction spans
+// the telemetry layer reports and checks them against the bus's own
+// cycle accounting: total cycles must equal the sum of spans, and each
+// pattern's count and cycle subtotal must match. Any pairing bug — a
+// transaction accounted but not reported, or reported with the wrong
+// span — breaks the equality.
+type cycleAudit struct {
+	cycles uint64
+	byPat  [bus.NumPatterns]uint64
+	cntPat [bus.NumPatterns]uint64
+}
+
+// Emit implements probe.Sink.
+func (a *cycleAudit) Emit(e probe.Event) {
+	if e.Kind != probe.KindBusEnd {
+		return
+	}
+	a.cycles += uint64(e.N)
+	if int(e.B) < len(a.byPat) {
+		a.byPat[e.B] += uint64(e.N)
+		a.cntPat[e.B]++
+	}
+}
+
+func (a *cycleAudit) verify(st bus.Stats) error {
+	if a.cycles != st.TotalCycles {
+		return fmt.Errorf("probe spans sum to %d cycles, bus accounted %d",
+			a.cycles, st.TotalCycles)
+	}
+	for p := range a.byPat {
+		if a.byPat[p] != st.CyclesByPattern[p] {
+			return fmt.Errorf("pattern %s: probe spans sum to %d cycles, bus accounted %d",
+				bus.Pattern(p), a.byPat[p], st.CyclesByPattern[p])
+		}
+		if a.cntPat[p] != st.CountByPattern[p] {
+			return fmt.Errorf("pattern %s: probe saw %d transactions, bus accounted %d",
+				bus.Pattern(p), a.cntPat[p], st.CountByPattern[p])
+		}
+	}
+	return nil
+}

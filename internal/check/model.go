@@ -1,0 +1,81 @@
+package check
+
+import (
+	"fmt"
+
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/mem"
+)
+
+// model is the flat sequential reference: one word array (represented
+// sparsely) and one lock map. The simulated machine executes operations
+// in a deterministic global order; applying that same order here
+// predicts every read value, every lock grant, and the exact memory
+// image at quiescence. The caches, the bus, the protocol states and the
+// optimized commands must all be invisible at this level — that
+// invisibility is the correctness property being checked.
+type model struct {
+	mem   map[word.Addr]word.Word
+	locks map[word.Addr]int // word address -> owner PE
+}
+
+func newModel() *model {
+	m := &model{
+		mem:   make(map[word.Addr]word.Word),
+		locks: make(map[word.Addr]int),
+	}
+	for a, v := range initPattern() {
+		m.mem[a] = v
+	}
+	return m
+}
+
+// initPattern is the deterministic nonzero fill of the read-only goal
+// arena (everything else starts zero, which the DW first-touch contract
+// relies on). Both the model and the simulated shared memory are
+// initialized from it.
+func initPattern() map[word.Addr]word.Word {
+	p := arenas()
+	out := make(map[word.Addr]word.Word, goalROBlocks*BlockWords)
+	for i := 0; i < goalROBlocks*BlockWords; i++ {
+		out[p.goalRO+word.Addr(i)] = word.Int(0x5A5A0000 + int64(i))
+	}
+	return out
+}
+
+// seedMemory applies initPattern to the simulated shared memory.
+func seedMemory(m *mem.Memory) {
+	for a, v := range initPattern() {
+		m.Write(a, v)
+	}
+}
+
+func (m *model) read(a word.Addr) word.Word { return m.mem[a] }
+
+func (m *model) write(a word.Addr, v word.Word) { m.mem[a] = v }
+
+// lockedByOther reports whether a PE other than pe holds the word lock.
+func (m *model) lockedByOther(pe int, a word.Addr) bool {
+	owner, ok := m.locks[a]
+	return ok && owner != pe
+}
+
+func (m *model) acquire(pe int, a word.Addr) error {
+	if owner, ok := m.locks[a]; ok {
+		return fmt.Errorf("model: PE%d acquiring %#x already locked by PE%d", pe, a, owner)
+	}
+	m.locks[a] = pe
+	return nil
+}
+
+func (m *model) release(pe int, a word.Addr) error {
+	owner, ok := m.locks[a]
+	if !ok {
+		return fmt.Errorf("model: PE%d releasing unlocked %#x", pe, a)
+	}
+	if owner != pe {
+		return fmt.Errorf("model: PE%d releasing %#x locked by PE%d", pe, a, owner)
+	}
+	delete(m.locks, a)
+	return nil
+}

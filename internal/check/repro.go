@@ -1,0 +1,69 @@
+package check
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Repro is a parsed repro file: the authoritative raw input plus the
+// fault-injection knob (empty for a plain protocol repro) the failure
+// requires.
+type Repro struct {
+	Raw   []byte
+	Fault string
+}
+
+// FormatRepro renders a failing input as a replayable repro file: a
+// comment block with the failure and the decoded schedule for human
+// eyes, one authoritative "raw <hex>" line ParseRepro replays, and —
+// for the mutation-kill corpus — a "fault <name>" line naming the
+// cache.Faults knob under which the input fails. The decoded listing is
+// informational only; the raw bytes are the input.
+func FormatRepro(data []byte, fault, failure string) string {
+	var b strings.Builder
+	b.WriteString("# pimcache coherence repro (replayed by internal/check)\n")
+	for _, line := range strings.Split(strings.TrimRight(failure, "\n"), "\n") {
+		fmt.Fprintf(&b, "# %s\n", line)
+	}
+	if fault != "" {
+		fmt.Fprintf(&b, "fault %s\n", fault)
+	}
+	fmt.Fprintf(&b, "raw %s\n", hex.EncodeToString(data))
+	if s := Decode(data); s != nil {
+		for _, line := range strings.Split(strings.TrimRight(s.String(), "\n"), "\n") {
+			fmt.Fprintf(&b, "# %s\n", line)
+		}
+	}
+	return b.String()
+}
+
+// ParseRepro extracts the raw input bytes (and the fault name, if any)
+// from a repro file.
+func ParseRepro(text []byte) (Repro, error) {
+	var r Repro
+	sc := bufio.NewScanner(bytes.NewReader(text))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if f, ok := strings.CutPrefix(line, "fault "); ok {
+			r.Fault = strings.TrimSpace(f)
+			continue
+		}
+		if raw, ok := strings.CutPrefix(line, "raw "); ok {
+			data, err := hex.DecodeString(strings.TrimSpace(raw))
+			if err != nil {
+				return r, fmt.Errorf("repro: bad raw line: %w", err)
+			}
+			r.Raw = data
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return r, err
+	}
+	if r.Raw == nil {
+		return r, fmt.Errorf("repro: no raw line found")
+	}
+	return r, nil
+}

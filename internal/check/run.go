@@ -1,0 +1,308 @@
+package check
+
+import (
+	"fmt"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/mem"
+)
+
+// RunConfig selects one protocol/optimization/bus configuration for a
+// checked run.
+type RunConfig struct {
+	Label          string
+	Protocol       cache.Protocol
+	Options        cache.Options
+	DisableFilters bool
+}
+
+// Configs is the differential matrix: every protocol with the optimized
+// commands off and on. The generator's software contracts make all six
+// agree with the flat model, so they transitively agree with each other.
+func Configs() []RunConfig {
+	return []RunConfig{
+		{Label: "pim/none", Protocol: cache.ProtocolPIM, Options: cache.OptionsNone()},
+		{Label: "pim/all", Protocol: cache.ProtocolPIM, Options: cache.OptionsAll()},
+		{Label: "illinois/none", Protocol: cache.ProtocolIllinois, Options: cache.OptionsNone()},
+		{Label: "illinois/all", Protocol: cache.ProtocolIllinois, Options: cache.OptionsAll()},
+		{Label: "wt/none", Protocol: cache.ProtocolWriteThrough, Options: cache.OptionsNone()},
+		{Label: "wt/all", Protocol: cache.ProtocolWriteThrough, Options: cache.OptionsAll()},
+	}
+}
+
+// Result is the observable outcome of a run; it is comparable with ==,
+// which is how the filtered and unfiltered bus are required to match
+// bit for bit.
+type Result struct {
+	Cache cache.Stats
+	Bus   bus.Stats
+}
+
+// Failure describes one checker violation, with enough context to
+// pinpoint the offending operation.
+type Failure struct {
+	Config  string
+	OpIndex int // index into Seq.Ops, -1 for end-of-run checks
+	Op      string
+	Msg     string
+}
+
+// Error formats the failure on one line.
+func (f *Failure) Error() string {
+	if f.OpIndex < 0 {
+		return fmt.Sprintf("[%s] at quiescence: %s", f.Config, f.Msg)
+	}
+	return fmt.Sprintf("[%s] op %d (%s): %s", f.Config, f.OpIndex, f.Op, f.Msg)
+}
+
+// harness is one machine under check: the real bus+caches, the flat
+// model, and the per-PE op queues the round-robin scheduler drains.
+type harness struct {
+	cfg    RunConfig
+	mem    *mem.Memory
+	bus    *bus.Bus
+	caches []*cache.Cache
+	md     *model
+	audit  *cycleAudit
+}
+
+func newHarness(pes int, rc RunConfig) *harness {
+	m := mem.New(Layout())
+	seedMemory(m)
+	b := bus.New(bus.Config{
+		Timing:          bus.DefaultTiming(),
+		BlockWords:      BlockWords,
+		DisableFilters:  rc.DisableFilters,
+		PoisonFetchData: true,
+	}, m)
+	ccfg := cache.Config{
+		SizeWords:         CacheWords,
+		BlockWords:        BlockWords,
+		Ways:              1,
+		LockEntries:       4,
+		Options:           rc.Options,
+		Protocol:          rc.Protocol,
+		VerifyDW:          true,
+		DisableBusFilters: rc.DisableFilters,
+		PoisonBusData:     true,
+	}
+	if err := ccfg.Validate(); err != nil {
+		panic(err)
+	}
+	caches := make([]*cache.Cache, pes)
+	for i := range caches {
+		caches[i] = cache.New(ccfg, i, b)
+	}
+	h := &harness{cfg: rc, mem: m, bus: b, caches: caches,
+		md: newModel(), audit: &cycleAudit{}}
+	b.SetProbe(h.audit)
+	return h
+}
+
+// RunSeq executes s on one configuration, checking the model prediction
+// of every read and lock grant, and the full invariant set after every
+// operation. It returns the run's observable statistics and the first
+// failure (nil when the run is clean).
+func RunSeq(s *Seq, rc RunConfig) (Result, *Failure) {
+	h := newHarness(s.PEs, rc)
+
+	// Split the schedule into per-PE programs; the round-robin scheduler
+	// below recreates the machine's deterministic interleaving, skipping
+	// busy-waiting PEs exactly as machine.Run does.
+	queues := make([][]int, s.PEs)
+	for i, op := range s.Ops {
+		queues[op.PE] = append(queues[op.PE], i)
+	}
+	remaining := len(s.Ops)
+	maxRounds := 8*len(s.Ops) + 64
+	for round := 0; remaining > 0; round++ {
+		if round > maxRounds {
+			return Result{}, &Failure{Config: rc.Label, OpIndex: -1,
+				Msg: fmt.Sprintf("no quiescence after %d rounds: livelock or lost unlock broadcast", round)}
+		}
+		for pe := 0; pe < s.PEs; pe++ {
+			if len(queues[pe]) == 0 || h.caches[pe].Blocked() {
+				continue
+			}
+			idx := queues[pe][0]
+			advanced, f := h.exec(idx, s.Ops[idx])
+			if f != nil {
+				return Result{}, f
+			}
+			if advanced {
+				queues[pe] = queues[pe][1:]
+				remaining--
+			}
+			if f := h.checkInvariants(idx, s.Ops[idx]); f != nil {
+				return Result{}, f
+			}
+		}
+	}
+	if f := h.quiesce(); f != nil {
+		return Result{}, f
+	}
+	var tot cache.Stats
+	for _, c := range h.caches {
+		st := c.Stats()
+		tot.Add(&st)
+	}
+	return Result{Cache: tot, Bus: h.bus.Stats()}, nil
+}
+
+// exec runs one operation against the real cache and the model.
+// advanced is false when an LR drew a lock hit and the PE must retry
+// after the unlock broadcast. Panics from the cache layer (protocol
+// assertions, DW contract checks, slice faults from poisoned buffers)
+// are converted into failures.
+func (h *harness) exec(idx int, op Op) (advanced bool, f *Failure) {
+	defer func() {
+		if r := recover(); r != nil {
+			f = h.fail(idx, op, fmt.Sprintf("panic: %v", r))
+		}
+	}()
+	c := h.caches[op.PE]
+	switch op.Kind {
+	case cache.OpR, cache.OpER, cache.OpRP, cache.OpRI:
+		var got word.Word
+		switch op.Kind {
+		case cache.OpR:
+			got = c.Read(op.Addr)
+		case cache.OpER:
+			got = c.ExclusiveRead(op.Addr)
+		case cache.OpRP:
+			got = c.ReadPurge(op.Addr)
+		case cache.OpRI:
+			got = c.ReadInvalidate(op.Addr)
+		}
+		if want := h.md.read(op.Addr); got != want {
+			return false, h.fail(idx, op, fmt.Sprintf("read %v, model says %v", got, want))
+		}
+	case cache.OpW:
+		c.Write(op.Addr, word.Int(op.Val))
+		h.md.write(op.Addr, word.Int(op.Val))
+	case cache.OpDW:
+		c.DirectWrite(op.Addr, word.Int(op.Val))
+		h.md.write(op.Addr, word.Int(op.Val))
+	case cache.OpLR:
+		wantBlocked := h.md.lockedByOther(op.PE, op.Addr)
+		got, ok := c.LockRead(op.Addr)
+		if ok == wantBlocked {
+			return false, h.fail(idx, op, fmt.Sprintf(
+				"lock grant=%v, model owner map says blocked=%v", ok, wantBlocked))
+		}
+		if !ok {
+			if !c.Blocked() {
+				return false, h.fail(idx, op, "LR denied but cache not busy-waiting")
+			}
+			return false, nil // retry after the unlock broadcast
+		}
+		if want := h.md.read(op.Addr); got != want {
+			return false, h.fail(idx, op, fmt.Sprintf("locked read %v, model says %v", got, want))
+		}
+		if err := h.md.acquire(op.PE, op.Addr); err != nil {
+			return false, h.fail(idx, op, err.Error())
+		}
+	case cache.OpUW:
+		c.UnlockWrite(op.Addr, word.Int(op.Val))
+		h.md.write(op.Addr, word.Int(op.Val))
+		if err := h.md.release(op.PE, op.Addr); err != nil {
+			return false, h.fail(idx, op, err.Error())
+		}
+	case cache.OpU:
+		c.Unlock(op.Addr)
+		if err := h.md.release(op.PE, op.Addr); err != nil {
+			return false, h.fail(idx, op, err.Error())
+		}
+	default:
+		return false, h.fail(idx, op, "unknown op kind")
+	}
+	return true, nil
+}
+
+// quiesce runs the end-of-run checks: no lock or busy-wait survives the
+// schedule, flushed memory equals the model image word for word, and
+// the probe-observed bus spans sum to the accounted cycle totals.
+func (h *harness) quiesce() *Failure {
+	for pe, c := range h.caches {
+		if c.Blocked() {
+			return h.failEnd(fmt.Sprintf("PE%d still busy-waiting on %#x", pe, c.BlockedOn()))
+		}
+		if n := c.LocksInUse(); n != 0 {
+			return h.failEnd(fmt.Sprintf("PE%d still holds %d locks", pe, n))
+		}
+	}
+	if n := h.bus.TotalLockCount(); n != 0 {
+		return h.failEnd(fmt.Sprintf("bus lock filter counts %d held locks at quiescence", n))
+	}
+	if n := len(h.md.locks); n != 0 {
+		return h.failEnd(fmt.Sprintf("model still holds %d locks (generator bug)", n))
+	}
+	for _, c := range h.caches {
+		c.Flush()
+	}
+	for _, base := range PoolBlocks() {
+		for i := 0; i < BlockWords; i++ {
+			a := base + word.Addr(i)
+			if got, want := h.mem.Read(a), h.md.read(a); got != want {
+				return h.failEnd(fmt.Sprintf(
+					"memory[%#x] = %v after flush, model says %v", a, got, want))
+			}
+		}
+	}
+	if err := h.audit.verify(h.bus.Stats()); err != nil {
+		return h.failEnd(err.Error())
+	}
+	return nil
+}
+
+func (h *harness) fail(idx int, op Op, msg string) *Failure {
+	return &Failure{Config: h.cfg.Label, OpIndex: idx, Op: op.String(), Msg: msg}
+}
+
+func (h *harness) failEnd(msg string) *Failure {
+	return &Failure{Config: h.cfg.Label, OpIndex: -1, Msg: msg}
+}
+
+// RunAll runs s under the full configuration matrix, then re-runs the
+// copy-back/all configurations with the bus presence filters disabled
+// and requires bit-identical statistics. It returns the first failure.
+func RunAll(s *Seq) *Failure {
+	results := make(map[string]Result)
+	for _, rc := range Configs() {
+		res, f := RunSeq(s, rc)
+		if f != nil {
+			return f
+		}
+		results[rc.Label] = res
+	}
+	for _, rc := range Configs() {
+		if rc.Protocol == cache.ProtocolWriteThrough && rc.Options != cache.OptionsAll() {
+			continue // one write-through twin is plenty; WT ignores Options
+		}
+		un := rc
+		un.Label = rc.Label + "/unfiltered"
+		un.DisableFilters = true
+		res, f := RunSeq(s, un)
+		if f != nil {
+			return f
+		}
+		if res != results[rc.Label] {
+			return &Failure{Config: un.Label, OpIndex: -1, Msg: fmt.Sprintf(
+				"filtered and unfiltered runs diverge:\nfiltered:   %+v\nunfiltered: %+v",
+				results[rc.Label], res)}
+		}
+	}
+	return nil
+}
+
+// Check decodes raw fuzz bytes and runs the full matrix; nil input (too
+// short to decode) passes vacuously.
+func Check(data []byte) *Failure {
+	s := Decode(data)
+	if s == nil {
+		return nil
+	}
+	return RunAll(s)
+}

@@ -1,0 +1,85 @@
+package check
+
+// Shrink minimizes a failing raw input with delta debugging over the
+// decoder's 3-byte op groups, so every candidate is legal by
+// construction (shrinking decoded ops directly could produce schedules
+// the generator contracts forbid, turning a protocol bug into a
+// contract violation). fails must be a pure predicate; Shrink assumes
+// fails(data) and returns the smallest still-failing input it found.
+//
+// The loop is classic ddmin — remove chunks of groups, halving the
+// chunk size down to single groups — followed by an attempt to lower
+// the PE count, iterated to a fixpoint.
+func Shrink(data []byte, fails func([]byte) bool) []byte {
+	cur := append([]byte(nil), data...)
+	for {
+		next := shrinkGroups(cur, fails)
+		next = shrinkPEs(next, fails)
+		if len(next) == len(cur) && string(next) == string(cur) {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// groupsOf splits data into its header byte and complete 3-byte groups
+// (the decoder ignores a trailing partial group, so dropping it first
+// is always a valid shrink).
+func groupsOf(data []byte) (header byte, groups [][]byte) {
+	header = data[0]
+	for g := 1; g+2 < len(data); g += 3 {
+		groups = append(groups, data[g:g+3])
+	}
+	return header, groups
+}
+
+func assemble(header byte, groups [][]byte) []byte {
+	out := []byte{header}
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+func shrinkGroups(data []byte, fails func([]byte) bool) []byte {
+	header, groups := groupsOf(data)
+	if c := assemble(header, groups); len(c) < len(data) && fails(c) {
+		data = c // dropped a trailing partial group
+	}
+	chunk := len(groups) / 2
+	for chunk >= 1 {
+		removedAny := false
+		for start := 0; start+chunk <= len(groups); {
+			candidate := make([][]byte, 0, len(groups)-chunk)
+			candidate = append(candidate, groups[:start]...)
+			candidate = append(candidate, groups[start+chunk:]...)
+			c := assemble(header, candidate)
+			if Decode(c) != nil && fails(c) {
+				groups = candidate
+				data = c
+				removedAny = true
+				// Keep start in place: the next chunk slid into it.
+			} else {
+				start += chunk
+			}
+		}
+		if !removedAny || chunk == 1 {
+			chunk /= 2
+		}
+	}
+	return data
+}
+
+// shrinkPEs tries the same op groups with fewer PEs; the decoder remaps
+// every group's PE field modulo the new count, which often collapses a
+// multi-PE interleaving into a shorter single-PE repro.
+func shrinkPEs(data []byte, fails func([]byte) bool) []byte {
+	header, groups := groupsOf(data)
+	for pes := byte(0); pes < header&3; pes++ {
+		c := assemble(header&^3|pes, groups)
+		if Decode(c) != nil && fails(c) {
+			return c
+		}
+	}
+	return data
+}

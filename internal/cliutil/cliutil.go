@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"pimcache/internal/bus"
+	"pimcache/internal/cache"
 )
 
 // ValidatePEs checks a -pes flag: at least one PE, at most the bus's
@@ -38,6 +39,64 @@ func ValidateBlock(block int) error {
 		return fmt.Errorf("-block must be a positive power of two (got %d)", block)
 	}
 	return nil
+}
+
+// ParseOptions maps an -opts flag value to the optimized-command set.
+func ParseOptions(name string) (cache.Options, error) {
+	switch name {
+	case "none":
+		return cache.OptionsNone(), nil
+	case "heap":
+		return cache.OptionsHeap(), nil
+	case "goal":
+		return cache.OptionsGoal(), nil
+	case "comm":
+		return cache.OptionsComm(), nil
+	case "all":
+		return cache.OptionsAll(), nil
+	}
+	return cache.Options{}, fmt.Errorf("unknown -opts %q (want none, heap, goal, comm, or all)", name)
+}
+
+// ParseProtocol maps a -protocol flag value to a coherence protocol.
+func ParseProtocol(name string) (cache.Protocol, error) {
+	switch name {
+	case "pim":
+		return cache.ProtocolPIM, nil
+	case "illinois":
+		return cache.ProtocolIllinois, nil
+	case "writethrough":
+		return cache.ProtocolWriteThrough, nil
+	}
+	return 0, fmt.Errorf("unknown -protocol %q (want pim, illinois, or writethrough)", name)
+}
+
+// BuildCacheConfig assembles and validates a cache configuration from
+// the -cache/-block/-ways/-opts/-protocol flags every simulator command
+// shares. Geometry errors (non-power-of-two block or set count, sizes
+// that don't divide) come back as ordinary errors instead of panics
+// deep inside cache construction.
+func BuildCacheConfig(sizeWords, blockWords, ways int, optsName, protocolName string) (cache.Config, error) {
+	opts, err := ParseOptions(optsName)
+	if err != nil {
+		return cache.Config{}, err
+	}
+	proto, err := ParseProtocol(protocolName)
+	if err != nil {
+		return cache.Config{}, err
+	}
+	cfg := cache.Config{
+		SizeWords:   sizeWords,
+		BlockWords:  blockWords,
+		Ways:        ways,
+		LockEntries: 4,
+		Options:     opts,
+		Protocol:    proto,
+	}
+	if err := cfg.Validate(); err != nil {
+		return cache.Config{}, err
+	}
+	return cfg, nil
 }
 
 // FirstError returns the first non-nil error, letting commands

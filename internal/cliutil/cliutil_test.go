@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pimcache/internal/bus"
+	"pimcache/internal/cache"
 )
 
 func TestValidatePEs(t *testing.T) {
@@ -40,6 +41,76 @@ func TestValidateBlock(t *testing.T) {
 	for _, block := range []int{0, -4, 3, 6, 12, 1000} {
 		if err := ValidateBlock(block); err == nil {
 			t.Errorf("ValidateBlock(%d) = nil, want error", block)
+		}
+	}
+}
+
+func TestParseOptions(t *testing.T) {
+	for name, want := range map[string]cache.Options{
+		"none": cache.OptionsNone(),
+		"heap": cache.OptionsHeap(),
+		"goal": cache.OptionsGoal(),
+		"comm": cache.OptionsComm(),
+		"all":  cache.OptionsAll(),
+	} {
+		got, err := ParseOptions(name)
+		if err != nil || got != want {
+			t.Errorf("ParseOptions(%q) = %v, %v", name, got, err)
+		}
+	}
+	for _, name := range []string{"", "ALL", "everything", "heap,goal"} {
+		if _, err := ParseOptions(name); err == nil {
+			t.Errorf("ParseOptions(%q) = nil error, want error", name)
+		}
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	for name, want := range map[string]cache.Protocol{
+		"pim":          cache.ProtocolPIM,
+		"illinois":     cache.ProtocolIllinois,
+		"writethrough": cache.ProtocolWriteThrough,
+	} {
+		got, err := ParseProtocol(name)
+		if err != nil || got != want {
+			t.Errorf("ParseProtocol(%q) = %v, %v", name, got, err)
+		}
+	}
+	for _, name := range []string{"", "PIM", "mesi"} {
+		if _, err := ParseProtocol(name); err == nil {
+			t.Errorf("ParseProtocol(%q) = nil error, want error", name)
+		}
+	}
+}
+
+func TestBuildCacheConfig(t *testing.T) {
+	cfg, err := BuildCacheConfig(4<<10, 4, 4, "all", "illinois")
+	if err != nil {
+		t.Fatalf("BuildCacheConfig(base) = %v", err)
+	}
+	if cfg.SizeWords != 4<<10 || cfg.BlockWords != 4 || cfg.Ways != 4 ||
+		cfg.LockEntries != 4 || cfg.Protocol != cache.ProtocolIllinois ||
+		cfg.Options != cache.OptionsAll() {
+		t.Fatalf("BuildCacheConfig(base) = %+v", cfg)
+	}
+
+	bad := []struct {
+		name              string
+		size, block, ways int
+		opts, proto       string
+	}{
+		{"bad opts", 4 << 10, 4, 4, "bogus", "pim"},
+		{"bad protocol", 4 << 10, 4, 4, "all", "bogus"},
+		{"non-pow2 block", 4 << 10, 3, 4, "all", "pim"},
+		{"non-pow2 sets", 3000, 4, 4, "all", "pim"},
+		{"size not divisible", 100, 8, 4, "all", "pim"},
+		{"zero size", 0, 4, 4, "all", "pim"},
+		{"negative ways", 4 << 10, 4, -1, "all", "pim"},
+	}
+	for _, c := range bad {
+		if _, err := BuildCacheConfig(c.size, c.block, c.ways, c.opts, c.proto); err == nil {
+			t.Errorf("%s: BuildCacheConfig(%d, %d, %d, %q, %q) = nil error, want error",
+				c.name, c.size, c.block, c.ways, c.opts, c.proto)
 		}
 	}
 }

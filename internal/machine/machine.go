@@ -97,9 +97,10 @@ func New(cfg Config) *Machine {
 	}
 	m := mem.New(cfg.Layout)
 	b := bus.New(bus.Config{
-		Timing:         cfg.Timing,
-		BlockWords:     cfg.Cache.BlockWords,
-		DisableFilters: cfg.Cache.DisableBusFilters,
+		Timing:          cfg.Timing,
+		BlockWords:      cfg.Cache.BlockWords,
+		DisableFilters:  cfg.Cache.DisableBusFilters,
+		PoisonFetchData: cfg.Cache.PoisonBusData,
 	}, m)
 	caches := make([]*cache.Cache, cfg.PEs)
 	for i := range caches {

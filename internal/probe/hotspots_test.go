@@ -62,6 +62,27 @@ func TestHotSpotsMetricsAndOrdering(t *testing.T) {
 	}
 }
 
+// TestHotSpotsEmptyStream: a sink that saw no events (or none of the
+// kinds it counts) yields empty rankings and no tables — the CLIs
+// print nothing rather than empty headers or a nil-deref.
+func TestHotSpotsEmptyStream(t *testing.T) {
+	h := NewHotSpots(4, nil)
+	for _, m := range []func(*BlockCount) uint64{Invals, Conflicts, BusTxns} {
+		if top := h.Top(10, m); len(top) != 0 {
+			t.Errorf("Top on empty stream = %+v, want empty", top)
+		}
+	}
+	if tables := h.Table(10); len(tables) != 0 {
+		t.Errorf("Table on empty stream produced %d tables, want 0", len(tables))
+	}
+	// Events of uncounted kinds leave it just as empty.
+	h.Emit(Event{Kind: KindRef, Addr: 0x40})
+	h.Emit(Event{Kind: KindCacheState, Addr: 0x40, Arg: ReasonEvict})
+	if tables := h.Table(10); len(tables) != 0 {
+		t.Errorf("Table after uncounted events produced %d tables, want 0", len(tables))
+	}
+}
+
 func TestHotSpotsTieBreakAndTables(t *testing.T) {
 	h := NewHotSpots(8, nil)
 	// Equal counts: ascending base order must win for determinism.

@@ -78,6 +78,83 @@ func TestIntervalsLockWait(t *testing.T) {
 	}
 }
 
+// TestIntervalsConflictAloneIsNotAWait pins the fix for an accounting
+// bug: the bus emits KindLockConflict for every transaction that draws
+// LH, including plain R/W fetches that retry immediately via
+// FetchForced and never acquire a lock. Treating the conflict as the
+// start of a wait left the window open until the PE's next unrelated
+// lock acquisition, charging normal execution as lock-wait time. Only
+// the cache-side KindLockSpin — the actual start of a busy wait —
+// may open the window.
+func TestIntervalsConflictAloneIsNotAWait(t *testing.T) {
+	iv := NewIntervals(10)
+	// Plain R/W draws LH at cycle 2; the retry proceeds with no
+	// acquisition. Much later the same PE takes an uncontended lock.
+	iv.Emit(Event{Kind: KindLockConflict, Cycle: 2, PE: 1})
+	iv.Emit(Event{Kind: KindLockAcquire, Cycle: 95, PE: 1})
+	for i, b := range iv.Buckets() {
+		if b.LockWait != 0 {
+			t.Errorf("bucket %d: LockWait %d from a conflict-only window, want 0", i, b.LockWait)
+		}
+	}
+	// A real busy wait still accounts normally afterwards.
+	iv.Emit(Event{Kind: KindLockSpin, Cycle: 100, PE: 1})
+	iv.Emit(Event{Kind: KindLockAcquire, Cycle: 104, PE: 1})
+	if got := iv.Buckets()[10].LockWait; got != 4 {
+		t.Errorf("LockWait after real spin = %d, want 4", got)
+	}
+}
+
+// TestIntervalsWindowLongerThanRun: with a width wider than the whole
+// run, everything lands in one bucket and the renderers emit exactly
+// one row.
+func TestIntervalsWindowLongerThanRun(t *testing.T) {
+	iv := NewIntervals(1_000_000)
+	iv.Emit(Event{Kind: KindRef, Cycle: 0})
+	iv.Emit(Event{Kind: KindMiss, Cycle: 17})
+	iv.Emit(Event{Kind: KindBusEnd, Cycle: 40, N: 12})
+	iv.Emit(Event{Kind: KindRef, Cycle: 999})
+	bk := iv.Buckets()
+	if len(bk) != 1 {
+		t.Fatalf("%d buckets, want 1", len(bk))
+	}
+	if bk[0].Refs != 2 || bk[0].Misses != 1 || bk[0].BusCycles != 12 {
+		t.Errorf("bucket = %+v, want refs 2, misses 1, bus 12", bk[0])
+	}
+	var sb strings.Builder
+	if err := iv.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(sb.String(), "\n"); lines != 2 {
+		t.Errorf("CSV has %d lines, want header + 1 row", lines)
+	}
+	if !strings.Contains(iv.Table().String(), "0-1000000") {
+		t.Errorf("Table missing the single window:\n%s", iv.Table())
+	}
+}
+
+// TestIntervalsCSVTrailingNewline: the CSV ends with exactly one
+// newline — no missing terminator, no blank trailing record.
+func TestIntervalsCSVTrailingNewline(t *testing.T) {
+	iv := NewIntervals(10)
+	iv.Emit(Event{Kind: KindRef, Cycle: 3})
+	iv.Emit(Event{Kind: KindRef, Cycle: 25}) // three windows
+	var sb strings.Builder
+	if err := iv.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("CSV does not end with a newline: %q", out)
+	}
+	if strings.HasSuffix(out, "\n\n") {
+		t.Fatalf("CSV ends with a blank line: %q", out)
+	}
+	if rows := strings.Count(out, "\n"); rows != 4 {
+		t.Errorf("CSV has %d lines, want header + 3 rows", rows)
+	}
+}
+
 func TestIntervalsCSV(t *testing.T) {
 	iv := NewIntervals(10)
 	iv.Emit(Event{Kind: KindRef, Cycle: 3})
