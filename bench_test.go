@@ -12,6 +12,7 @@ package pimcache
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -437,7 +438,10 @@ func BenchmarkReplayThroughput(b *testing.B) {
 // mix of mostly-private blocks and rare locks is exactly what the
 // filters exploit: each snoop and lock poll shrinks from O(PEs) to
 // O(actual holders), so the filtered/unfiltered gap widens with PE
-// count. docs/eval_snapshot.txt records the measured speedups.
+// count. The sharded mode replays the same trace partitioned by cache
+// set across every available core (bench.ReplayConfigSharded), which
+// produces bit-identical statistics; it is the headline replay-engine
+// number. docs/eval_snapshot.txt records the measured speedups.
 func BenchmarkReplayPEs(b *testing.B) {
 	for _, pes := range []int{1, 4, 8, 16} {
 		sc := synth.DefaultConfig()
@@ -447,12 +451,23 @@ func BenchmarkReplayPEs(b *testing.B) {
 		for _, mode := range []struct {
 			name    string
 			disable bool
-		}{{"filtered", false}, {"unfiltered", true}} {
+			shards  int
+		}{
+			{"filtered", false, 1},
+			{"unfiltered", true, 1},
+			{"sharded", false, runtime.GOMAXPROCS(0)},
+		} {
 			cfg := bench.BaseCache(cache.OptionsAll())
 			cfg.DisableBusFilters = mode.disable
 			b.Run(fmt.Sprintf("pes=%d/%s", pes, mode.name), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, _, err := bench.ReplayConfig(tr, cfg, bus.DefaultTiming()); err != nil {
+					var err error
+					if mode.shards > 1 {
+						_, _, err = bench.ReplayConfigSharded(tr, cfg, bus.DefaultTiming(), mode.shards)
+					} else {
+						_, _, err = bench.ReplayConfig(tr, cfg, bus.DefaultTiming())
+					}
+					if err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -35,16 +35,30 @@ func main() {
 		benches = flag.String("bench", "", "comma-separated benchmark subset (Tri,Semi,Puzzle,Pascal)")
 		verbose = flag.Bool("v", false, "print progress")
 		jobs    = flag.Int("jobs", 0, "concurrent simulations (0 = all CPU cores, 1 = serial)")
+		warm    = flag.Bool("warm", false, "share warmed checkpoints among replays with identical configs")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	if err := cliutil.ValidateJobs(*jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "pimbench:", err)
 		os.Exit(2)
 	}
+	stopProfiles, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "pimbench:", err)
+		}
+	}()
 
 	o := bench.DefaultOptions()
 	o.Quick = *quick
 	o.Jobs = *jobs
+	o.WarmedSweeps = *warm
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -63,6 +77,7 @@ func main() {
 	d, err := bench.Collect(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		stopProfiles()
 		os.Exit(1)
 	}
 

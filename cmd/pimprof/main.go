@@ -41,6 +41,8 @@ func main() {
 		intervals = flag.Uint64("intervals", 0, "print interval metrics every N simulated cycles")
 		csvOut    = flag.String("csv", "", "write the interval metrics as CSV to this file (needs -intervals)")
 		hotspots  = flag.Int("hotspots", 0, "print the top-K most contended blocks")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
@@ -58,6 +60,10 @@ func main() {
 	}
 
 	ccfg, err := cliutil.BuildCacheConfig(*size, *block, *ways, *optsName, *protocol)
+	if err != nil {
+		fatal2(err)
+	}
+	stopProfiles, err = cliutil.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
 		fatal2(err)
 	}
@@ -134,10 +140,18 @@ func main() {
 		}
 		fmt.Printf("wrote %s — open it at https://ui.perfetto.dev\n", *events)
 	}
+	if err := stopProfiles(); err != nil {
+		fatal(err)
+	}
 }
+
+// stopProfiles finalizes -cpuprofile/-memprofile; fatal exits go through
+// it too, so an aborted replay still leaves a usable CPU profile.
+var stopProfiles = func() error { return nil }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pimprof:", err)
+	stopProfiles()
 	os.Exit(1)
 }
 

@@ -140,27 +140,40 @@ func replay(args []string) {
 	ways := fs.Int("ways", 4, "associativity")
 	optsName := fs.String("opts", "all", "none, heap, goal, comm, all")
 	width := fs.Int("buswidth", 1, "bus width in words")
+	shards := fs.Int("shards", 1, "partition the replay across N cores by cache set (identical statistics)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		fatal(fmt.Errorf("replay: one trace file expected"))
+	}
+	if *shards < 0 {
+		fatal(fmt.Errorf("replay: -shards must be non-negative (got %d)", *shards))
 	}
 	tr := readTrace(fs.Arg(0))
 	ccfg, err := cliutil.BuildCacheConfig(*size, *block, *ways, *optsName, "pim")
 	if err != nil {
 		fatal(err)
 	}
-	m := machine.New(machine.Config{
-		PEs: tr.PEs, Layout: tr.Layout, Cache: ccfg,
-		Timing: bus.Timing{MemCycles: 8, WidthWords: *width},
-	})
-	ports := make([]mem.Accessor, tr.PEs)
-	for i := range ports {
-		ports[i] = m.Port(i)
+	timing := bus.Timing{MemCycles: 8, WidthWords: *width}
+	var bs bus.Stats
+	var cs cache.Stats
+	if *shards > 1 {
+		bs, cs, err = bench.ReplayConfigSharded(tr, ccfg, timing, *shards)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		m := machine.New(machine.Config{
+			PEs: tr.PEs, Layout: tr.Layout, Cache: ccfg, Timing: timing,
+		})
+		ports := make([]mem.Accessor, tr.PEs)
+		for i := range ports {
+			ports[i] = m.Port(i)
+		}
+		if err := trace.Replay(tr, ports); err != nil {
+			fatal(err)
+		}
+		bs, cs = m.BusStats(), m.CacheStats()
 	}
-	if err := trace.Replay(tr, ports); err != nil {
-		fatal(err)
-	}
-	bs, cs := m.BusStats(), m.CacheStats()
 	fmt.Printf("replayed %d references: %d bus cycles, miss ratio %.4f, mem busy %d\n",
 		tr.Len(), bs.TotalCycles, cs.MissRatio(), bs.MemBusyCycles)
 	for p := bus.Pattern(0); p < bus.NumPatterns; p++ {

@@ -64,6 +64,12 @@ type Options struct {
 	// way — the flag exists for the filter-equivalence oracle and as the
 	// benchmark baseline.
 	DisableBusFilters bool
+	// WarmedSweeps lets replay jobs with identical (configuration,
+	// timing) share a warmed machine checkpoint instead of each replaying
+	// the common prefix — see WarmCache. Tables are byte-identical with
+	// the flag on or off (the warmed-determinism oracle pins this); the
+	// flag only removes redundant prefix work.
+	WarmedSweeps bool
 }
 
 // DefaultOptions mirrors the paper's evaluation.
@@ -389,10 +395,11 @@ func collectSerial(o Options) (*Data, error) {
 		if tr == nil {
 			return nil, fmt.Errorf("%s: PESweep %v does not include PEs=%d", b.Name, o.PESweep, o.PEs)
 		}
+		rep := o.newReplayer(tr.Len())
 		// Table 4 variants.
 		for _, v := range OptVariants {
 			progress("replay %s (%d refs)", v.Name, tr.Len())
-			bs, cs, err := ReplayConfig(tr, o.baseCache(v.Opts), bus.DefaultTiming())
+			bs, cs, err := rep.Replay(tr, o.baseCache(v.Opts), bus.DefaultTiming())
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", b.Name, v.Name, err)
 			}
@@ -405,7 +412,7 @@ func collectSerial(o Options) (*Data, error) {
 				progress("replay block=%d", bw)
 				cfg := o.baseCache(cache.OptionsAll())
 				cfg.BlockWords = bw
-				bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
+				bs, cs, err := rep.Replay(tr, cfg, bus.DefaultTiming())
 				if err != nil {
 					return nil, fmt.Errorf("%s/block%d: %w", b.Name, bw, err)
 				}
@@ -419,7 +426,7 @@ func collectSerial(o Options) (*Data, error) {
 				progress("replay capacity=%d", size)
 				cfg := o.baseCache(cache.OptionsAll())
 				cfg.SizeWords = size
-				bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
+				bs, cs, err := rep.Replay(tr, cfg, bus.DefaultTiming())
 				if err != nil {
 					return nil, fmt.Errorf("%s/size%d: %w", b.Name, size, err)
 				}
@@ -433,7 +440,7 @@ func collectSerial(o Options) (*Data, error) {
 				progress("replay ways=%d", ways)
 				cfg := o.baseCache(cache.OptionsAll())
 				cfg.Ways = ways
-				bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
+				bs, cs, err := rep.Replay(tr, cfg, bus.DefaultTiming())
 				if err != nil {
 					return nil, fmt.Errorf("%s/ways%d: %w", b.Name, ways, err)
 				}
@@ -443,7 +450,7 @@ func collectSerial(o Options) (*Data, error) {
 			}
 			// Two-word bus (Section 4.4).
 			progress("replay two-word bus")
-			w2, _, err := ReplayConfig(tr, o.baseCache(cache.OptionsAll()),
+			w2, _, err := rep.Replay(tr, o.baseCache(cache.OptionsAll()),
 				bus.Timing{MemCycles: 8, WidthWords: 2})
 			if err != nil {
 				return nil, err
@@ -453,7 +460,7 @@ func collectSerial(o Options) (*Data, error) {
 			progress("replay Illinois")
 			ill := o.baseCache(cache.OptionsNone())
 			ill.Protocol = cache.ProtocolIllinois
-			ibs, _, err := ReplayConfig(tr, ill, bus.DefaultTiming())
+			ibs, _, err := rep.Replay(tr, ill, bus.DefaultTiming())
 			if err != nil {
 				return nil, err
 			}
@@ -462,7 +469,7 @@ func collectSerial(o Options) (*Data, error) {
 			progress("replay write-through")
 			wt := o.baseCache(cache.OptionsNone())
 			wt.Protocol = cache.ProtocolWriteThrough
-			wbs, _, err := ReplayConfig(tr, wt, bus.DefaultTiming())
+			wbs, _, err := rep.Replay(tr, wt, bus.DefaultTiming())
 			if err != nil {
 				return nil, err
 			}

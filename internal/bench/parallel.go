@@ -50,6 +50,10 @@ type benchState struct {
 	mu        sync.Mutex
 	tr        *trace.Trace
 	consumers atomic.Int32
+
+	// rep routes this benchmark's replays (cold or through a shared warm
+	// cache); set by the record job before any replay is submitted.
+	rep *replayer
 }
 
 // traceDone records one finished replay; the last consumer drops the
@@ -163,6 +167,7 @@ func submitLiveJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState, 
 				st.mu.Lock()
 				st.tr = tr
 				st.mu.Unlock()
+				st.rep = o.newReplayer(tr.Len())
 				submitReplayJobs(pool, pw, o, st)
 			}
 			return nil
@@ -189,7 +194,7 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 	for i, v := range OptVariants {
 		i, v := i, v
 		replay(v.Name, func(tr *trace.Trace) error {
-			bs, cs, err := ReplayConfig(tr, o.baseCache(v.Opts), bus.DefaultTiming())
+			bs, cs, err := st.rep.Replay(tr, o.baseCache(v.Opts), bus.DefaultTiming())
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", name, v.Name, err)
 			}
@@ -205,7 +210,7 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 		replay(fmt.Sprintf("block=%d", bw), func(tr *trace.Trace) error {
 			cfg := o.baseCache(cache.OptionsAll())
 			cfg.BlockWords = bw
-			bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
+			bs, cs, err := st.rep.Replay(tr, cfg, bus.DefaultTiming())
 			if err != nil {
 				return fmt.Errorf("%s/block%d: %w", name, bw, err)
 			}
@@ -221,7 +226,7 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 		replay(fmt.Sprintf("capacity=%d", size), func(tr *trace.Trace) error {
 			cfg := o.baseCache(cache.OptionsAll())
 			cfg.SizeWords = size
-			bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
+			bs, cs, err := st.rep.Replay(tr, cfg, bus.DefaultTiming())
 			if err != nil {
 				return fmt.Errorf("%s/size%d: %w", name, size, err)
 			}
@@ -237,7 +242,7 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 		replay(fmt.Sprintf("ways=%d", ways), func(tr *trace.Trace) error {
 			cfg := o.baseCache(cache.OptionsAll())
 			cfg.Ways = ways
-			bs, cs, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
+			bs, cs, err := st.rep.Replay(tr, cfg, bus.DefaultTiming())
 			if err != nil {
 				return fmt.Errorf("%s/ways%d: %w", name, ways, err)
 			}
@@ -248,7 +253,7 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 		})
 	}
 	replay("two-word bus", func(tr *trace.Trace) error {
-		bs, _, err := ReplayConfig(tr, o.baseCache(cache.OptionsAll()),
+		bs, _, err := st.rep.Replay(tr, o.baseCache(cache.OptionsAll()),
 			bus.Timing{MemCycles: 8, WidthWords: 2})
 		if err != nil {
 			return err
@@ -259,7 +264,7 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 	replay("Illinois", func(tr *trace.Trace) error {
 		cfg := o.baseCache(cache.OptionsNone())
 		cfg.Protocol = cache.ProtocolIllinois
-		bs, _, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
+		bs, _, err := st.rep.Replay(tr, cfg, bus.DefaultTiming())
 		if err != nil {
 			return err
 		}
@@ -269,7 +274,7 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 	replay("write-through", func(tr *trace.Trace) error {
 		cfg := o.baseCache(cache.OptionsNone())
 		cfg.Protocol = cache.ProtocolWriteThrough
-		bs, _, err := ReplayConfig(tr, cfg, bus.DefaultTiming())
+		bs, _, err := st.rep.Replay(tr, cfg, bus.DefaultTiming())
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/trace"
+)
+
+// ReplayConfigSharded replays tr under ccfg/timing with the reference
+// stream partitioned across up to shards concurrent worker machines,
+// merging statistics deterministically. It returns the same bus and
+// cache statistics, bit for bit, as ReplayConfig — the sharded
+// equivalence test pins this — while using multiple host cores for one
+// replay.
+//
+// Why partitioning is exact: references are assigned to shards by cache
+// set index, so two references land in the same shard whenever they can
+// interact. Every coherence interaction is block-local (snoop fetches,
+// invalidations, lock checks all target one block, and a block maps to
+// one set); LRU replacement compares only lines within one set, and the
+// per-cache LRU clock preserves each set's touch order under any
+// set-preserving partition; word locks live at addresses inside their
+// block. Statistics are sums of per-event counters, so per-shard totals
+// add back to the unsharded totals exactly. Two global couplings exist
+// and neither affects results: the bus's total-lock-count fast path only
+// short-circuits polls whose outcome is address-local, and the probe
+// clock — which is why sharded replays do not support probes (cycle
+// stamps would interleave differently; use ReplayConfigProbed for event
+// streams).
+//
+// Shard count is clamped to the configuration's set count (fewer sets
+// than shards would leave workers idle) and to the trace's PE-count-
+// independent geometry; shards <= 1 falls back to ReplayConfig.
+func ReplayConfigSharded(tr *trace.Trace, ccfg cache.Config, timing bus.Timing, shards int) (bus.Stats, cache.Stats, error) {
+	if err := ccfg.Validate(); err != nil {
+		return bus.Stats{}, cache.Stats{}, err
+	}
+	if sets := ccfg.Sets(); shards > sets {
+		shards = sets
+	}
+	if shards <= 1 {
+		return ReplayConfig(tr, ccfg, timing)
+	}
+	parts := partitionBySet(tr, ccfg, shards)
+
+	type shardResult struct {
+		bus   bus.Stats
+		cache cache.Stats
+		err   error
+	}
+	results := make([]shardResult, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			bs, cs, err := ReplayConfig(parts[s], ccfg, timing)
+			results[s] = shardResult{bus: bs, cache: cs, err: err}
+		}(s)
+	}
+	wg.Wait()
+
+	var mergedBus bus.Stats
+	var mergedCache cache.Stats
+	for s := range results {
+		if results[s].err != nil {
+			return bus.Stats{}, cache.Stats{}, fmt.Errorf("shard %d: %w", s, results[s].err)
+		}
+		mergedBus.Add(&results[s].bus)
+		mergedCache.Add(&results[s].cache)
+	}
+	return mergedBus, mergedCache, nil
+}
+
+// partitionBySet splits tr into shards sub-traces by cache set index,
+// preserving reference order within each shard. Two passes: count, then
+// fill exactly-sized slices (no append growth on multi-hundred-megabyte
+// streams).
+func partitionBySet(tr *trace.Trace, ccfg cache.Config, shards int) []*trace.Trace {
+	blockW := word.Addr(ccfg.BlockWords)
+	setMask := word.Addr(ccfg.Sets() - 1)
+	shardOf := func(a word.Addr) int {
+		return int(((a / blockW) & setMask) % word.Addr(shards))
+	}
+	counts := make([]int, shards)
+	for i := range tr.Refs {
+		counts[shardOf(tr.Refs[i].Addr)]++
+	}
+	parts := make([]*trace.Trace, shards)
+	for s := range parts {
+		parts[s] = &trace.Trace{
+			PEs:    tr.PEs,
+			Layout: tr.Layout,
+			Refs:   make([]trace.Ref, 0, counts[s]),
+		}
+	}
+	for i := range tr.Refs {
+		r := &tr.Refs[i]
+		s := shardOf(r.Addr)
+		parts[s].Refs = append(parts[s].Refs, *r)
+	}
+	return parts
+}

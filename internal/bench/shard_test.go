@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/synth"
+	"pimcache/internal/trace"
+)
+
+func shardWorkload(pes int) *trace.Trace {
+	c := synth.DefaultConfig()
+	c.PEs = pes
+	c.Events = 40_000
+	return synth.ORParallel(c)
+}
+
+// TestReplayShardedEquivalence pins the sharding exactness argument:
+// partitioning a trace by cache set index and merging per-shard
+// statistics reproduces the unsharded replay bit for bit, for every
+// protocol and several shard counts.
+func TestReplayShardedEquivalence(t *testing.T) {
+	tr := shardWorkload(8)
+	for _, proto := range []cache.Protocol{
+		cache.ProtocolPIM, cache.ProtocolIllinois, cache.ProtocolWriteThrough,
+	} {
+		ccfg := cache.DefaultConfig()
+		ccfg.Options = cache.OptionsAll()
+		ccfg.Protocol = proto
+		wantBus, wantCache, err := ReplayConfig(tr, ccfg, bus.DefaultTiming())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{2, 4, 8} {
+			gotBus, gotCache, err := ReplayConfigSharded(tr, ccfg, bus.DefaultTiming(), shards)
+			if err != nil {
+				t.Fatalf("%v/%d shards: %v", proto, shards, err)
+			}
+			if gotBus != wantBus {
+				t.Errorf("%v/%d shards: bus stats diverged:\nsharded %+v\nunsharded %+v",
+					proto, shards, gotBus, wantBus)
+			}
+			if gotCache != wantCache {
+				t.Errorf("%v/%d shards: cache stats diverged", proto, shards)
+			}
+		}
+	}
+}
+
+// TestReplayShardedClamp: shard counts beyond the set count (or <= 1)
+// must degrade gracefully to fewer shards / the unsharded path.
+func TestReplayShardedClamp(t *testing.T) {
+	tr := shardWorkload(2)
+	ccfg := cache.DefaultConfig()
+	ccfg.SizeWords = 64 // 4 sets at 4-word blocks, 4 ways
+	wantBus, wantCache, err := ReplayConfig(tr, ccfg, bus.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{0, 1, 64} {
+		gotBus, gotCache, err := ReplayConfigSharded(tr, ccfg, bus.DefaultTiming(), shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if gotBus != wantBus || gotCache != wantCache {
+			t.Errorf("shards=%d: stats diverged from unsharded replay", shards)
+		}
+	}
+}

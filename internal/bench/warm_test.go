@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/synth"
+)
+
+// warmTestOptions builds a sweep whose base configuration recurs four
+// times (Table 4 "All", block=4, capacity=4096, ways=4), so the warm
+// cache has a real duplicate group to checkpoint for.
+func warmTestOptions(jobs int, warmed bool) Options {
+	return Options{
+		Quick:           true,
+		PEs:             2,
+		PESweep:         []int{1, 2},
+		BlockSizes:      []int{2, 4},
+		Capacities:      []int{512, 4 << 10},
+		Associativities: []int{1, 4},
+		Benchmarks:      []string{"Pascal"},
+		Jobs:            jobs,
+		WarmedSweeps:    warmed,
+	}
+}
+
+// TestCollectWarmedDeterminism is the warmed-sweep oracle: a sweep using
+// warmed checkpoints must render byte-identical tables to a cold sweep,
+// on both the serial and the parallel path.
+func TestCollectWarmedDeterminism(t *testing.T) {
+	cold, err := Collect(warmTestOptions(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RenderAll(cold)
+	if len(want) == 0 {
+		t.Fatal("rendered evaluation is empty")
+	}
+	for _, jobs := range []int{1, 8} {
+		warm, err := Collect(warmTestOptions(jobs, true))
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if got := RenderAll(warm); got != want {
+			t.Errorf("jobs=%d: warmed sweep is not byte-identical to cold sweep\n--- cold ---\n%s\n--- warmed ---\n%s",
+				jobs, want, got)
+		}
+	}
+}
+
+// TestReplayKeysMatchConsumers pins the lockstep between replayKeys (what
+// the warm cache registers) and replayConsumers (how many replay jobs the
+// parallel path submits): a drift would make warmed parallel sweeps leak
+// or starve checkpoints.
+func TestReplayKeysMatchConsumers(t *testing.T) {
+	for _, o := range []Options{
+		warmTestOptions(1, true),
+		{SkipSweeps: true},
+		DefaultOptions(),
+	} {
+		if got, want := len(o.replayKeys()), replayConsumers(o); got != want {
+			t.Errorf("options %+v: %d replay keys, %d consumers", o, got, want)
+		}
+	}
+}
+
+// TestWarmCacheSharesPrefix checks the warm path end to end without the
+// Collect harness: two registered replays of one configuration — the
+// second restoring the first's checkpoint — must match a cold replay
+// exactly.
+func TestWarmCacheSharesPrefix(t *testing.T) {
+	c := synth.DefaultConfig()
+	c.PEs = 4
+	c.Events = 20_000
+	tr := synth.ORParallel(c)
+	ccfg := cache.DefaultConfig()
+	ccfg.Options = cache.OptionsAll()
+
+	wantBus, wantCache, err := ReplayConfig(tr, ccfg, bus.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := NewWarmCache(tr.Len() / 2)
+	wc.Register(ccfg, bus.DefaultTiming())
+	wc.Register(ccfg, bus.DefaultTiming())
+	for i := 0; i < 2; i++ {
+		gotBus, gotCache, err := wc.Replay(tr, ccfg, bus.DefaultTiming())
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if gotBus != wantBus || gotCache != wantCache {
+			t.Errorf("replay %d: warmed stats diverged from cold replay", i)
+		}
+	}
+	// The second replay consumed the checkpoint: the entry must have
+	// released it.
+	wc.mu.Lock()
+	e := wc.entries[warmKey{ccfg, bus.DefaultTiming()}]
+	wc.mu.Unlock()
+	if e.snap != nil {
+		t.Error("checkpoint not released after its last consumer")
+	}
+	if e.remaining != 0 {
+		t.Errorf("remaining = %d after all registered replays ran", e.remaining)
+	}
+}

@@ -255,14 +255,18 @@ const MaxPEs = 64
 // machine is stepped deterministically, so no Go-level locking is needed)
 // and owns cycle accounting.
 //
-// The bus also maintains two presence filters — a block-residency map
-// (block base → holder PE bitmask) kept current by the caches through
-// BlockInstalled/BlockDropped, and per-PE held-lock counts kept current
-// through LockAcquired/LockReleased. They make every snoop and lock poll
-// O(actual holders) instead of O(PEs), which is a simulator-host
-// acceleration only: filtered and unfiltered runs produce identical
-// simulated statistics (the modelled hardware broadcasts either way, and
-// cycle accounting never depended on the number of polled units).
+// The bus also maintains two presence filters — a block-residency table
+// (one holder PE bitmask per memory block, indexed by addr>>blockShift)
+// kept current by the caches through BlockInstalled/BlockDropped, and
+// per-PE held-lock counts kept current through LockAcquired/LockReleased.
+// They make every snoop and lock poll O(actual holders) instead of
+// O(PEs), which is a simulator-host acceleration only: filtered and
+// unfiltered runs produce identical simulated statistics (the modelled
+// hardware broadcasts either way, and cycle accounting never depended on
+// the number of polled units). The table is a flat slice sized from the
+// memory footprint — at 8 bytes per block it costs 1/4 word per memory
+// word at 4-word blocks, and unlike the map it predates it is branch-free
+// and never allocates on the install path.
 type Bus struct {
 	timing     Timing
 	blockWords int
@@ -275,7 +279,8 @@ type Bus struct {
 	// Presence filters and the reusable fetch buffer (see type comment).
 	noFilters  bool
 	poison     bool
-	presence   map[word.Addr]uint64
+	presence   []uint64
+	blockShift uint
 	lockCounts []uint32
 	totalLocks int
 	allMask    uint64
@@ -319,6 +324,7 @@ func New(cfg Config, memory *mem.Memory) *Bus {
 	if cfg.Timing.WidthWords < 1 || cfg.Timing.MemCycles < 1 {
 		panic("bus: invalid timing")
 	}
+	shift := uint(bits.TrailingZeros(uint(cfg.BlockWords)))
 	return &Bus{
 		timing:     cfg.Timing,
 		blockWords: cfg.BlockWords,
@@ -326,7 +332,8 @@ func New(cfg Config, memory *mem.Memory) *Bus {
 		areaOf:     memory.AreaOf,
 		noFilters:  cfg.DisableFilters,
 		poison:     cfg.PoisonFetchData,
-		presence:   make(map[word.Addr]uint64),
+		presence:   make([]uint64, (memory.Size()+cfg.BlockWords-1)/cfg.BlockWords),
+		blockShift: shift,
 		blockBuf:   make([]word.Word, cfg.BlockWords),
 	}
 }
@@ -368,19 +375,14 @@ func (b *Bus) Attach(p int, s Snooper, l LockUnit) {
 // block based at base. Caches must call it on every INV→valid transition
 // (fetch install, direct-write allocation) with the block's base address.
 func (b *Bus) BlockInstalled(pe int, base word.Addr) {
-	b.presence[base] |= 1 << uint(pe)
+	b.presence[base>>b.blockShift] |= 1 << uint(pe)
 }
 
 // BlockDropped records that pe's cache no longer holds the block based at
 // base. Caches must call it on every valid→INV transition (eviction,
 // remote invalidation, ER/RP purge, flush).
 func (b *Bus) BlockDropped(pe int, base word.Addr) {
-	m := b.presence[base] &^ (1 << uint(pe))
-	if m == 0 {
-		delete(b.presence, base)
-	} else {
-		b.presence[base] = m
-	}
+	b.presence[base>>b.blockShift] &^= 1 << uint(pe)
 }
 
 // LockAcquired records that pe's lock directory registered one more held
@@ -405,7 +407,7 @@ func (b *Bus) LockReleased(pe int) {
 // containing addr (bit i set = PE i holds a copy). Tests cross-check it
 // against ScanHolders.
 func (b *Bus) HolderMask(addr word.Addr) uint64 {
-	return b.presence[b.blockBase(addr)]
+	return b.presence[addr>>b.blockShift]
 }
 
 // ScanHolders polls every attached snooper's Holds for addr's block and
@@ -434,7 +436,7 @@ func (b *Bus) remoteMask(requester int, base word.Addr) uint64 {
 	if b.noFilters {
 		return b.allMask &^ (1 << uint(requester))
 	}
-	return b.presence[base] &^ (1 << uint(requester))
+	return b.presence[base>>b.blockShift] &^ (1 << uint(requester))
 }
 
 // remoteLocks counts locks held by PEs other than requester.
@@ -493,7 +495,7 @@ func (b *Bus) actualHolders(requester int, addr word.Addr) uint64 {
 	if b.noFilters {
 		return b.ScanHolders(addr) &^ (1 << uint(requester))
 	}
-	return b.presence[b.blockBase(addr)] &^ (1 << uint(requester))
+	return b.presence[addr>>b.blockShift] &^ (1 << uint(requester))
 }
 
 // emitBegin and emitEnd report a bus transaction; callers check
@@ -645,7 +647,7 @@ func (b *Bus) fetch(requester int, addr word.Addr, inval, victimDirty, withLock 
 	var holders uint64
 	if b.probe != nil {
 		// Captured before the snoop loop: FI snoops drop copies and
-		// mutate the presence map.
+		// mutate the presence table.
 		holders = b.actualHolders(requester, addr)
 		b.emitBegin(requester, addr, uint8(cmd), holders, withLock)
 	}
@@ -721,10 +723,10 @@ func (b *Bus) RemoteLockInBlock(requester int, addr word.Addr) bool {
 // valid copy of the block containing addr. This is the snoop-result peek
 // the cache controller uses to select among the ER and RP sub-behaviours
 // before committing to a bus command. With the presence filter it is one
-// map probe; unfiltered it polls every snooper.
+// table load; unfiltered it polls every snooper.
 func (b *Bus) RemoteHolder(requester int, addr word.Addr) bool {
 	if !b.noFilters {
-		return b.presence[b.blockBase(addr)]&^(1<<uint(requester)) != 0
+		return b.presence[addr>>b.blockShift]&^(1<<uint(requester)) != 0
 	}
 	for i, s := range b.snoopers {
 		if i == requester || s == nil {

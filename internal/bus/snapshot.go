@@ -1,0 +1,47 @@
+package bus
+
+import "fmt"
+
+// Snapshot is a copy of the bus's mutable state: statistics, the two
+// presence filters, and the probe clock's per-reference tick component.
+// Together with the per-cache snapshots it makes a restored machine's
+// future behaviour — including probe cycle stamps — bit-identical to the
+// uninterrupted run. Attached snoopers, lock units and the probe sink are
+// wiring, not state, and are left untouched by Restore.
+type Snapshot struct {
+	Stats      Stats
+	Presence   []uint64
+	LockCounts []uint32
+	TotalLocks int
+	Ticks      uint64
+}
+
+// Snapshot captures the bus's mutable state.
+func (b *Bus) Snapshot() *Snapshot {
+	return &Snapshot{
+		Stats:      b.stats,
+		Presence:   append([]uint64(nil), b.presence...),
+		LockCounts: append([]uint32(nil), b.lockCounts...),
+		TotalLocks: b.totalLocks,
+		Ticks:      b.ticks,
+	}
+}
+
+// Restore overwrites the bus's mutable state from a snapshot taken on a
+// bus with the same geometry (block size, memory footprint, PE count).
+func (b *Bus) Restore(s *Snapshot) error {
+	if len(s.Presence) != len(b.presence) {
+		return fmt.Errorf("bus: snapshot presence table has %d blocks, bus has %d",
+			len(s.Presence), len(b.presence))
+	}
+	if len(s.LockCounts) != len(b.lockCounts) {
+		return fmt.Errorf("bus: snapshot has %d PEs, bus has %d",
+			len(s.LockCounts), len(b.lockCounts))
+	}
+	b.stats = s.Stats
+	copy(b.presence, s.Presence)
+	copy(b.lockCounts, s.LockCounts)
+	b.totalLocks = s.TotalLocks
+	b.ticks = s.Ticks
+	return nil
+}

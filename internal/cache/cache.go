@@ -9,26 +9,35 @@ import (
 	"pimcache/internal/probe"
 )
 
-// line is one cache block frame.
-type line struct {
-	state State
-	base  word.Addr // block base address; meaningful when state != INV
-	data  []word.Word
-	lru   uint64
-}
-
 // Cache is one PE's coherent cache plus its lock directory. It implements
 // mem.Accessor on the processor side and bus.Snooper/bus.LockUnit on the
 // bus side.
 //
+// Storage is struct-of-arrays: instead of a slice-of-slices of line
+// structs, the directory lives in four flat planes indexed by frame
+// number (set*ways + way). A lookup touches only the state and base
+// planes — a handful of consecutive bytes per set — so the per-reference
+// hot path walks one or two cache lines of host memory instead of
+// chasing pointers into per-line structs. The data plane is one flat
+// word slice (frame f's block at f*BlockWords), and LRU clocks live in
+// their own plane touched only on hits and installs.
+//
 // A Cache is not safe for concurrent use; the machine steps PEs
 // deterministically and the bus serializes all coherence activity.
 type Cache struct {
-	cfg      Config
-	pe       int
-	bus      *bus.Bus
-	areaOf   func(word.Addr) mem.Area
-	sets     [][]line
+	cfg    Config
+	pe     int
+	bus    *bus.Bus
+	areaOf func(word.Addr) mem.Area
+
+	// SoA planes, indexed by frame = setIndex*ways + way.
+	states []State
+	bases  []word.Addr
+	lru    []uint64
+	data   []word.Word
+
+	ways     int
+	bw       int // block words (frame stride in the data plane)
 	setMask  word.Addr
 	offMask  word.Addr
 	blockW   word.Addr
@@ -59,23 +68,22 @@ func New(cfg Config, pe int, b *bus.Bus) *Cache {
 			cfg.BlockWords, b.BlockWords()))
 	}
 	sets := cfg.Sets()
+	frames := sets * cfg.Ways
 	c := &Cache{
 		cfg:     cfg,
 		pe:      pe,
 		bus:     b,
 		areaOf:  b.Memory().AreaOf,
-		sets:    make([][]line, sets),
+		states:  make([]State, frames),
+		bases:   make([]word.Addr, frames),
+		lru:     make([]uint64, frames),
+		data:    make([]word.Word, frames*cfg.BlockWords),
+		ways:    cfg.Ways,
+		bw:      cfg.BlockWords,
 		setMask: word.Addr(sets - 1),
 		offMask: word.Addr(cfg.BlockWords - 1),
 		blockW:  word.Addr(cfg.BlockWords),
 		dir:     newLockDir(cfg.LockEntries),
-	}
-	for i := range c.sets {
-		ways := make([]line, cfg.Ways)
-		for j := range ways {
-			ways[j].data = make([]word.Word, cfg.BlockWords)
-		}
-		c.sets[i] = ways
 	}
 	b.Attach(pe, c, c)
 	return c
@@ -105,41 +113,43 @@ func (c *Cache) Blocked() bool { return c.blocked }
 // BlockedOn returns the address being waited for (valid when Blocked).
 func (c *Cache) BlockedOn() word.Addr { return c.blockedOn }
 
-func (c *Cache) setIndex(a word.Addr) int {
-	return int((a / c.blockW) & c.setMask)
-}
-
 func (c *Cache) blockBase(a word.Addr) word.Addr { return a &^ c.offMask }
 
-// lookup returns the valid line holding a, or nil.
-func (c *Cache) lookup(a word.Addr) *line {
-	base := c.blockBase(a)
-	set := c.sets[c.setIndex(a)]
-	for i := range set {
-		if set[i].state.Valid() && set[i].base == base {
-			return &set[i]
-		}
-	}
-	return nil
+// frameData returns frame f's block in the data plane.
+func (c *Cache) frameData(f int) []word.Word {
+	o := f * c.bw
+	return c.data[o : o+c.bw : o+c.bw]
 }
 
-func (c *Cache) touch(l *line) {
+// lookup returns the frame holding a, or -1. This is the hot path: it
+// scans the ways of one set through the base and state planes only.
+func (c *Cache) lookup(a word.Addr) int {
+	base := a &^ c.offMask
+	f := int((a/c.blockW)&c.setMask) * c.ways
+	for end := f + c.ways; f < end; f++ {
+		if c.bases[f] == base && c.states[f] != INV {
+			return f
+		}
+	}
+	return -1
+}
+
+func (c *Cache) touch(f int) {
 	c.lruClock++
-	l.lru = c.lruClock
+	c.lru[f] = c.lruClock
 }
 
 // victimFor picks the replacement frame for a block that will be
-// installed at a: an invalid frame if one exists, else the LRU line.
-func (c *Cache) victimFor(a word.Addr) *line {
-	set := c.sets[c.setIndex(a)]
-	var victim *line
-	for i := range set {
-		l := &set[i]
-		if !l.state.Valid() {
-			return l
+// installed at a: an invalid frame if one exists, else the LRU frame.
+func (c *Cache) victimFor(a word.Addr) int {
+	f := int((a/c.blockW)&c.setMask) * c.ways
+	victim := f
+	for end := f + c.ways; f < end; f++ {
+		if c.states[f] == INV {
+			return f
 		}
-		if victim == nil || l.lru < victim.lru {
-			victim = l
+		if c.lru[f] < c.lru[victim] {
+			victim = f
 		}
 	}
 	return victim
@@ -154,51 +164,52 @@ func (c *Cache) emitState(base word.Addr, from, to State, reason uint64) {
 	})
 }
 
-// setState changes l's state in place, reporting the transition. Only
-// valid→valid transitions go through it; INV crossings use install and
-// drop, which also maintain the bus presence filter.
-func (c *Cache) setState(l *line, to State, reason uint64) {
-	if c.probe != nil && l.state != to {
-		c.emitState(l.base, l.state, to, reason)
+// setState changes frame f's state in place, reporting the transition.
+// Only valid→valid transitions go through it; INV crossings use install
+// and drop, which also maintain the bus presence filter.
+func (c *Cache) setState(f int, to State, reason uint64) {
+	if c.probe != nil && c.states[f] != to {
+		c.emitState(c.bases[f], c.states[f], to, reason)
 	}
-	l.state = to
+	c.states[f] = to
 }
 
-// install marks l as holding the block based at base in state st and
-// notifies the bus presence filter. Every INV→valid transition must go
-// through it (the filter's exactness is what makes filtered snooping
+// install marks frame f as holding the block based at base in state st
+// and notifies the bus presence filter. Every INV→valid transition must
+// go through it (the filter's exactness is what makes filtered snooping
 // equivalent to the full scan).
-func (c *Cache) install(l *line, base word.Addr, st State, reason uint64) {
-	l.base = base
-	l.state = st
+func (c *Cache) install(f int, base word.Addr, st State, reason uint64) {
+	c.bases[f] = base
+	c.states[f] = st
 	c.bus.BlockInstalled(c.pe, base)
 	if c.probe != nil {
 		c.emitState(base, INV, st, reason)
 	}
 }
 
-// drop invalidates l, notifying the bus presence filter. It is a no-op
-// on an already-invalid line.
-func (c *Cache) drop(l *line, reason uint64) {
-	if l.state.Valid() {
+// drop invalidates frame f, notifying the bus presence filter. It is a
+// no-op on an already-invalid frame.
+func (c *Cache) drop(f int, reason uint64) {
+	if c.states[f] != INV {
 		if !Faults.SkipFilterDrop {
-			c.bus.BlockDropped(c.pe, l.base)
+			c.bus.BlockDropped(c.pe, c.bases[f])
 		}
 		if c.probe != nil {
-			c.emitState(l.base, l.state, INV, reason)
+			c.emitState(c.bases[f], c.states[f], INV, reason)
 		}
-		l.state = INV
+		c.states[f] = INV
 	}
 }
 
-// evict writes back a dirty victim through the hidden path (its bus cost
-// is folded into the with-swap-out fetch pattern chosen by the caller).
-func (c *Cache) evictHidden(v *line) {
-	if v.state.Dirty() {
-		c.bus.SwapOutHidden(v.base, v.data)
+// evictHidden writes back a dirty victim through the hidden path (its
+// bus cost is folded into the with-swap-out fetch pattern chosen by the
+// caller).
+func (c *Cache) evictHidden(f int) {
+	if c.states[f].Dirty() {
+		c.bus.SwapOutHidden(c.bases[f], c.frameData(f))
 		c.stats.SwapOuts++
 	}
-	c.drop(v, probe.ReasonEvict)
+	c.drop(f, probe.ReasonEvict)
 }
 
 // miss records a miss under op and reports it to the probe.
@@ -215,23 +226,23 @@ func (c *Cache) miss(a word.Addr, op Op) {
 // fetchInto performs the bus fetch for a (F when inval is false, FI when
 // true), handling the victim write-back and the busy-wait-then-proceed
 // simplification for non-lock operations, and installs the block. It
-// returns the installed line.
+// returns the installed frame.
 //
 // Plain R/W operations that hit a remotely locked word are modelled as
 // one aborted (LH) attempt followed by the post-unlock retry: the retry's
 // traffic is the fetch we issue here. This is safe functionally because
 // KL1 data is single-assignment — the value observable before the lock's
 // UW is the consistent pre-state.
-func (c *Cache) fetchInto(a word.Addr, inval bool) *line {
+func (c *Cache) fetchInto(a word.Addr, inval bool) int {
 	victim := c.victimFor(a)
-	vdirty := victim.state.Dirty()
+	vdirty := c.states[victim].Dirty()
 	res := c.bus.Fetch(c.pe, a, inval, vdirty, false)
 	if res.LockHit {
 		c.stats.BusyWaits++
 		res = c.bus.FetchForced(c.pe, a, inval, vdirty)
 	}
 	c.evictHidden(victim)
-	copy(victim.data, res.Data)
+	copy(c.frameData(victim), res.Data)
 	var st State
 	switch {
 	case inval && res.Shared:
@@ -260,14 +271,14 @@ func (c *Cache) fetchInto(a word.Addr, inval bool) *line {
 // readInternal is the plain-read path shared by R and the degraded forms
 // of ER/RP/RI. It records hit/miss under op.
 func (c *Cache) readInternal(a word.Addr, op Op) word.Word {
-	if l := c.lookup(a); l != nil {
+	if f := c.lookup(a); f >= 0 {
 		c.stats.Hits[op]++
-		c.touch(l)
-		return l.data[a&c.offMask]
+		c.touch(f)
+		return c.data[f*c.bw+int(a&c.offMask)]
 	}
 	c.miss(a, op)
-	l := c.fetchInto(a, false)
-	return l.data[a&c.offMask]
+	f := c.fetchInto(a, false)
+	return c.data[f*c.bw+int(a&c.offMask)]
 }
 
 // writeInternal is the plain-write path shared by W, UW and degraded DW.
@@ -278,20 +289,20 @@ func (c *Cache) writeInternal(a word.Addr, w word.Word, op Op) {
 		// goes straight to memory (one bus transaction per write), other
 		// copies die, a present local copy is updated in place, and no
 		// block is ever dirty.
-		if l := c.lookup(a); l != nil {
+		if f := c.lookup(a); f >= 0 {
 			c.stats.Hits[op]++
-			c.touch(l)
-			l.data[a&c.offMask] = w
+			c.touch(f)
+			c.data[f*c.bw+int(a&c.offMask)] = w
 		} else {
 			c.miss(a, op)
 		}
 		c.bus.WordWrite(c.pe, a, w)
 		return
 	}
-	if l := c.lookup(a); l != nil {
+	if f := c.lookup(a); f >= 0 {
 		c.stats.Hits[op]++
-		c.touch(l)
-		switch l.state {
+		c.touch(f)
+		switch c.states[f] {
 		case S, SM:
 			// Writing a shared block: invalidate the other copies. The
 			// block stays non-exclusive (SM) if a remote PE holds a lock
@@ -303,25 +314,25 @@ func (c *Cache) writeInternal(a word.Addr, w word.Word, op Op) {
 				c.bus.ForceInvalidate(c.pe, a)
 			}
 			if c.bus.RemoteLockInBlock(c.pe, a) && !Faults.GrantEMOverRemoteLock {
-				c.setState(l, SM, probe.ReasonWrite)
+				c.setState(f, SM, probe.ReasonWrite)
 			} else {
-				c.setState(l, EM, probe.ReasonWrite)
+				c.setState(f, EM, probe.ReasonWrite)
 			}
 		case EC:
-			c.setState(l, EM, probe.ReasonWrite)
+			c.setState(f, EM, probe.ReasonWrite)
 		}
-		l.data[a&c.offMask] = w
+		c.data[f*c.bw+int(a&c.offMask)] = w
 		return
 	}
 	c.miss(a, op)
-	l := c.fetchInto(a, true) // fetch-on-write, invalidating other copies
-	if (l.state == S || l.state == SM) && !Faults.GrantEMOverRemoteLock {
+	f := c.fetchInto(a, true) // fetch-on-write, invalidating other copies
+	if (c.states[f] == S || c.states[f] == SM) && !Faults.GrantEMOverRemoteLock {
 		// Lock-forced non-exclusive grant: stay shared-modified.
-		c.setState(l, SM, probe.ReasonWrite)
+		c.setState(f, SM, probe.ReasonWrite)
 	} else {
-		c.setState(l, EM, probe.ReasonWrite)
+		c.setState(f, EM, probe.ReasonWrite)
 	}
-	l.data[a&c.offMask] = w
+	c.data[f*c.bw+int(a&c.offMask)] = w
 }
 
 func (c *Cache) countRef(a word.Addr, op Op) mem.Area {
@@ -371,7 +382,7 @@ func (c *Cache) DirectWrite(a word.Addr, w word.Word) {
 		c.writeInternal(a, w, OpDW)
 		return
 	}
-	if c.lookup(a) != nil {
+	if c.lookup(a) >= 0 {
 		// Already resident (a previous DW to this block): a plain hit.
 		c.stats.DWDegraded++
 		c.writeInternal(a, w, OpDW)
@@ -383,17 +394,18 @@ func (c *Cache) DirectWrite(a word.Addr, w word.Word) {
 	c.stats.DWApplied++
 	c.miss(a, OpDW)
 	victim := c.victimFor(a)
-	if victim.state.Dirty() {
+	if c.states[victim].Dirty() {
 		// The only bus activity a direct write can cause: the lone
 		// swap-out pattern (five cycles at base parameters).
-		c.bus.SwapOut(c.pe, victim.base, victim.data)
+		c.bus.SwapOut(c.pe, c.bases[victim], c.frameData(victim))
 		c.stats.SwapOuts++
 	}
 	c.drop(victim, probe.ReasonEvict)
-	for i := range victim.data {
-		victim.data[i] = 0
+	vd := c.frameData(victim)
+	for i := range vd {
+		vd[i] = 0
 	}
-	victim.data[a&c.offMask] = w
+	vd[a&c.offMask] = w
 	c.install(victim, c.blockBase(a), EM, probe.ReasonDirectWrite)
 	c.touch(victim)
 }
@@ -414,18 +426,18 @@ func (c *Cache) ExclusiveRead(a word.Addr) word.Word {
 		return c.readInternal(a, OpER)
 	}
 	last := a&c.offMask == c.offMask
-	if l := c.lookup(a); l != nil {
+	if f := c.lookup(a); f >= 0 {
 		c.stats.Hits[OpER]++
-		c.touch(l)
-		v := l.data[a&c.offMask]
+		c.touch(f)
+		v := c.data[f*c.bw+int(a&c.offMask)]
 		if last {
 			// Case (ii): the block is dead after this read; discard it
 			// even if modified — that is the whole point (the data is
 			// write-once/read-once, so the swap-out would be useless).
-			if l.state.Dirty() {
+			if c.states[f].Dirty() {
 				c.stats.PurgedDirty++
 			}
-			c.drop(l, probe.ReasonPurge)
+			c.drop(f, probe.ReasonPurge)
 			c.stats.ERPurge++
 		} else {
 			c.stats.ERDegraded++
@@ -436,13 +448,13 @@ func (c *Cache) ExclusiveRead(a word.Addr) word.Word {
 	if !last && c.bus.RemoteHolder(c.pe, a) {
 		// Case (i): fetch with invalidation of the supplier.
 		c.stats.ERInval++
-		l := c.fetchInto(a, true)
-		return l.data[a&c.offMask]
+		f := c.fetchInto(a, true)
+		return c.data[f*c.bw+int(a&c.offMask)]
 	}
 	// Case (iii).
 	c.stats.ERDegraded++
-	l := c.fetchInto(a, false)
-	return l.data[a&c.offMask]
+	f := c.fetchInto(a, false)
+	return c.data[f*c.bw+int(a&c.offMask)]
 }
 
 // ReadPurge implements RP per Section 3.2(3): on a hit the block is
@@ -459,13 +471,13 @@ func (c *Cache) ReadPurge(a word.Addr) word.Word {
 		c.stats.RPDegraded++
 		return c.readInternal(a, OpRP)
 	}
-	if l := c.lookup(a); l != nil {
+	if f := c.lookup(a); f >= 0 {
 		c.stats.Hits[OpRP]++
-		v := l.data[a&c.offMask]
-		if l.state.Dirty() {
+		v := c.data[f*c.bw+int(a&c.offMask)]
+		if c.states[f].Dirty() {
 			c.stats.PurgedDirty++
 		}
-		c.drop(l, probe.ReasonPurge)
+		c.drop(f, probe.ReasonPurge)
 		c.stats.RPApplied++
 		return v
 	}
@@ -482,8 +494,8 @@ func (c *Cache) ReadPurge(a word.Addr) word.Word {
 	// Memory-resident block: a plain read (the paper defines the purge
 	// behaviour only for hits and remote suppliers).
 	c.stats.RPDegraded++
-	l := c.fetchInto(a, false)
-	return l.data[a&c.offMask]
+	f := c.fetchInto(a, false)
+	return c.data[f*c.bw+int(a&c.offMask)]
 }
 
 // ReadInvalidate implements RI per Section 3.2(4): a read that takes the
@@ -499,21 +511,21 @@ func (c *Cache) ReadInvalidate(a word.Addr) word.Word {
 		c.stats.RIDegraded++
 		return c.readInternal(a, OpRI)
 	}
-	if c.lookup(a) != nil {
+	if c.lookup(a) >= 0 {
 		c.stats.RIDegraded++
 		return c.readInternal(a, OpRI)
 	}
 	c.miss(a, OpRI)
 	if c.bus.RemoteHolder(c.pe, a) {
 		c.stats.RIApplied++
-		l := c.fetchInto(a, true)
-		return l.data[a&c.offMask]
+		f := c.fetchInto(a, true)
+		return c.data[f*c.bw+int(a&c.offMask)]
 	}
 	// Memory supplies with no sharers: the plain fetch already grants
 	// exclusivity (EC), so RI adds nothing.
 	c.stats.RIDegraded++
-	l := c.fetchInto(a, false)
-	return l.data[a&c.offMask]
+	f := c.fetchInto(a, false)
+	return c.data[f*c.bw+int(a&c.offMask)]
 }
 
 // LockRead implements LR per Section 3.1/3.3. On a hit to an exclusive
@@ -526,15 +538,15 @@ func (c *Cache) LockRead(a word.Addr) (word.Word, bool) {
 	if c.dir.held(a) {
 		panic(fmt.Sprintf("cache: PE %d re-locking %#x", c.pe, a))
 	}
-	if l := c.lookup(a); l != nil {
+	if f := c.lookup(a); f >= 0 {
 		c.stats.Hits[OpLR]++
-		c.touch(l)
-		if l.state.Exclusive() {
+		c.touch(f)
+		if c.states[f].Exclusive() {
 			// No other cache can hold the block, hence no other PE can
 			// hold a lock on it: acquire with zero bus cycles.
 			c.stats.LRHitExclusive++
 			c.acquireLock(a)
-			return l.data[a&c.offMask], true
+			return c.data[f*c.bw+int(a&c.offMask)], true
 		}
 		// Shared hit: LK + I to take ownership. The block upgrades to an
 		// exclusive state unless a remote lock on another of its words
@@ -551,27 +563,27 @@ func (c *Cache) LockRead(a word.Addr) (word.Word, bool) {
 		}
 		switch {
 		case c.bus.RemoteLockInBlock(c.pe, a):
-			if dirtyKilled && l.state == S {
-				c.setState(l, SM, probe.ReasonLock)
+			if dirtyKilled && c.states[f] == S {
+				c.setState(f, SM, probe.ReasonLock)
 			}
-		case l.state == SM || dirtyKilled:
-			c.setState(l, EM, probe.ReasonLock)
+		case c.states[f] == SM || dirtyKilled:
+			c.setState(f, EM, probe.ReasonLock)
 		default:
-			c.setState(l, EC, probe.ReasonLock)
+			c.setState(f, EC, probe.ReasonLock)
 		}
 		c.acquireLock(a)
-		return l.data[a&c.offMask], true
+		return c.data[f*c.bw+int(a&c.offMask)], true
 	}
 	c.miss(a, OpLR)
 	victim := c.victimFor(a)
-	vdirty := victim.state.Dirty()
+	vdirty := c.states[victim].Dirty()
 	res := c.bus.Fetch(c.pe, a, true, vdirty, true)
 	if res.LockHit {
 		c.beginBusyWait(a)
 		return 0, false
 	}
 	c.evictHidden(victim)
-	copy(victim.data, res.Data)
+	copy(c.frameData(victim), res.Data)
 	var st State
 	switch {
 	case res.Shared && res.SupplierDirty:
@@ -586,7 +598,7 @@ func (c *Cache) LockRead(a word.Addr) (word.Word, bool) {
 	c.install(victim, c.blockBase(a), st, probe.ReasonLock)
 	c.touch(victim)
 	c.acquireLock(a)
-	return victim.data[a&c.offMask], true
+	return c.data[victim*c.bw+int(a&c.offMask)], true
 }
 
 // acquireLock registers a lock on a and updates the bus lock filter.
@@ -658,37 +670,37 @@ func (c *Cache) LocksInUse() int { return c.dir.inUse() }
 
 // SnoopFetch implements bus.Snooper.
 func (c *Cache) SnoopFetch(a word.Addr, inval bool) (data []word.Word, held, dirty, retained bool) {
-	l := c.lookup(a)
-	if l == nil {
+	f := c.lookup(a)
+	if f < 0 {
 		return nil, false, false, false
 	}
-	data = l.data
-	dirty = l.state.Dirty()
+	data = c.frameData(f)
+	dirty = c.states[f].Dirty()
 	if c.cfg.Protocol == ProtocolIllinois && dirty {
 		// Illinois copies a dirty block back to shared memory whenever it
 		// is supplied, so every copy ends up clean. This is exactly the
 		// memory-module pressure the SM state avoids.
-		c.bus.MemoryWriteBack(l.base, l.data)
+		c.bus.MemoryWriteBack(c.bases[f], data)
 		if inval {
-			c.drop(l, probe.ReasonSnoopInval)
+			c.drop(f, probe.ReasonSnoopInval)
 			c.stats.Invalidations++
 			return data, true, false, false
 		}
-		c.setState(l, S, probe.ReasonSnoopShare)
+		c.setState(f, S, probe.ReasonSnoopShare)
 		return data, true, false, true
 	}
 	if inval {
-		c.drop(l, probe.ReasonSnoopInval)
+		c.drop(f, probe.ReasonSnoopInval)
 		c.stats.Invalidations++
 		return data, true, dirty, false
 	}
 	// PIM: no copy-back on transfer. A modified supplier keeps write-back
 	// ownership in SM; clean exclusives downgrade to S.
-	switch l.state {
+	switch c.states[f] {
 	case EM:
-		c.setState(l, SM, probe.ReasonSnoopShare)
+		c.setState(f, SM, probe.ReasonSnoopShare)
 	case EC:
-		c.setState(l, S, probe.ReasonSnoopShare)
+		c.setState(f, S, probe.ReasonSnoopShare)
 	}
 	return data, true, dirty, true
 }
@@ -702,18 +714,18 @@ func (c *Cache) SnoopInvalidate(a word.Addr) bool {
 	if Faults.SkipSnoopInvalidate {
 		return false
 	}
-	l := c.lookup(a)
-	if l == nil {
+	f := c.lookup(a)
+	if f < 0 {
 		return false
 	}
-	dirty := l.state.Dirty()
-	c.drop(l, probe.ReasonSnoopInval)
+	dirty := c.states[f].Dirty()
+	c.drop(f, probe.ReasonSnoopInval)
 	c.stats.Invalidations++
 	return dirty
 }
 
 // Holds implements bus.Snooper.
-func (c *Cache) Holds(a word.Addr) bool { return c.lookup(a) != nil }
+func (c *Cache) Holds(a word.Addr) bool { return c.lookup(a) >= 0 }
 
 // --- bus.LockUnit ---
 
@@ -738,30 +750,27 @@ func (c *Cache) ObserveUnlock(a word.Addr) {
 // cache. It is used around garbage collection and for end-of-run
 // verification; it costs no simulated cycles.
 func (c *Cache) Flush() {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			l := &c.sets[si][wi]
-			if l.state.Dirty() {
-				c.bus.Memory().WriteBlock(l.base, l.data)
-			}
-			c.drop(l, probe.ReasonFlush)
+	for f := range c.states {
+		if c.states[f].Dirty() {
+			c.bus.Memory().WriteBlock(c.bases[f], c.frameData(f))
 		}
+		c.drop(f, probe.ReasonFlush)
 	}
 }
 
 // StateOf returns the state of the block containing a (INV when absent).
 // Exposed for tests and the protocol-walkthrough example.
 func (c *Cache) StateOf(a word.Addr) State {
-	if l := c.lookup(a); l != nil {
-		return l.state
+	if f := c.lookup(a); f >= 0 {
+		return c.states[f]
 	}
 	return INV
 }
 
 // PeekWord returns the cached copy of a, for tests; ok is false on miss.
 func (c *Cache) PeekWord(a word.Addr) (word.Word, bool) {
-	if l := c.lookup(a); l != nil {
-		return l.data[a&c.offMask], true
+	if f := c.lookup(a); f >= 0 {
+		return c.data[f*c.bw+int(a&c.offMask)], true
 	}
 	return 0, false
 }

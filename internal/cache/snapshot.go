@@ -1,0 +1,88 @@
+package cache
+
+import (
+	"fmt"
+
+	"pimcache/internal/kl1/word"
+)
+
+// LockEntrySnapshot is one serialized lock-directory entry. Empty entries
+// are kept in place so that Restore reproduces the directory's exact slot
+// layout (acquire fills the first empty slot, so slot positions are
+// observable through later behaviour).
+type LockEntrySnapshot struct {
+	Addr  word.Addr
+	State LockState
+}
+
+// Snapshot is a complete, self-contained copy of a cache's mutable state:
+// the four SoA planes, the LRU clock, the lock directory, the busy-wait
+// latch and the statistics. It contains everything needed to make Restore
+// followed by replaying refs [k, n) bit-identical to an uninterrupted
+// replay of refs [0, n) — including probe event streams, because the
+// probe clock lives on the bus and is captured by bus.Snapshot.
+//
+// All fields are exported and of serializable types so the machine-level
+// checkpoint can gob-encode snapshots directly.
+type Snapshot struct {
+	States   []State
+	Bases    []word.Addr
+	LRU      []uint64
+	Data     []word.Word
+	LRUClock uint64
+
+	Locks     []LockEntrySnapshot
+	Blocked   bool
+	BlockedOn word.Addr
+
+	Stats Stats
+}
+
+// Snapshot captures the cache's mutable state. The configuration is not
+// included: a snapshot may only be restored into a cache with the same
+// Config (the machine-level checkpoint records and checks it).
+func (c *Cache) Snapshot() *Snapshot {
+	s := &Snapshot{
+		States:    append([]State(nil), c.states...),
+		Bases:     append([]word.Addr(nil), c.bases...),
+		LRU:       append([]uint64(nil), c.lru...),
+		Data:      append([]word.Word(nil), c.data...),
+		LRUClock:  c.lruClock,
+		Locks:     make([]LockEntrySnapshot, len(c.dir.entries)),
+		Blocked:   c.blocked,
+		BlockedOn: c.blockedOn,
+		Stats:     c.stats,
+	}
+	for i, e := range c.dir.entries {
+		s.Locks[i] = LockEntrySnapshot{Addr: e.addr, State: e.state}
+	}
+	return s
+}
+
+// Restore overwrites the cache's mutable state from a snapshot taken on a
+// cache with the same configuration. The bus presence filter is NOT
+// updated here — the filter is bus state, and a machine-level restore
+// reinstates it through bus.(*Bus).Restore; restoring a lone cache
+// outside a machine checkpoint would desynchronize the filter.
+func (c *Cache) Restore(s *Snapshot) error {
+	if len(s.States) != len(c.states) || len(s.Data) != len(c.data) {
+		return fmt.Errorf("cache: snapshot geometry %d frames/%d words does not match cache %d/%d",
+			len(s.States), len(s.Data), len(c.states), len(c.data))
+	}
+	if len(s.Locks) != len(c.dir.entries) {
+		return fmt.Errorf("cache: snapshot has %d lock entries, cache has %d",
+			len(s.Locks), len(c.dir.entries))
+	}
+	copy(c.states, s.States)
+	copy(c.bases, s.Bases)
+	copy(c.lru, s.LRU)
+	copy(c.data, s.Data)
+	c.lruClock = s.LRUClock
+	for i, e := range s.Locks {
+		c.dir.entries[i] = lockEntry{addr: e.Addr, state: e.State}
+	}
+	c.blocked = s.Blocked
+	c.blockedOn = s.BlockedOn
+	c.stats = s.Stats
+	return nil
+}

@@ -269,8 +269,8 @@ func busOps(pre, post *bus.Stats) string {
 // the rest of the system; used only to construct transition-table
 // scenarios and tests.
 func (c *Cache) SnoopInvalidateSelf(a word.Addr) {
-	if l := c.lookup(a); l != nil {
-		c.drop(l, probe.ReasonSnoopInval)
+	if f := c.lookup(a); f >= 0 {
+		c.drop(f, probe.ReasonSnoopInval)
 	}
 }
 

@@ -7,6 +7,9 @@ package cliutil
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"pimcache/internal/bus"
 	"pimcache/internal/cache"
@@ -97,6 +100,46 @@ func BuildCacheConfig(sizeWords, blockWords, ways int, optsName, protocolName st
 		return cache.Config{}, err
 	}
 	return cfg, nil
+}
+
+// StartProfiles starts CPU and/or heap profiling per the -cpuprofile and
+// -memprofile flags (either may be empty). It returns a stop function the
+// command must call on every exit path — typically via defer from main's
+// run helper — which stops the CPU profile and writes the heap profile.
+// Errors opening or writing the profile files come back as ordinary
+// errors; profiling never aborts the simulation it is measuring.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("-cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 // FirstError returns the first non-nil error, letting commands

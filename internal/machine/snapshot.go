@@ -1,0 +1,111 @@
+package machine
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/kl1/word"
+)
+
+// Snapshot is a complete machine checkpoint: configuration, shared
+// memory, bus state (statistics, presence filters, probe clock) and every
+// cache's planes, lock directory and statistics. Restoring a snapshot
+// into a machine of the same configuration and then continuing a trace
+// replay produces bit-identical statistics and probe event streams to the
+// uninterrupted run — the property TestCheckpointResume pins and the
+// warmed-sweep harness in internal/bench relies on.
+//
+// Processor state (the KL1 reduction engines attached via Attach) is NOT
+// captured: checkpoints exist for trace replay, where the reference
+// stream itself is the program and the machine's processors are unused.
+type Snapshot struct {
+	// Config identifies the machine shape the snapshot was taken from;
+	// Restore refuses a mismatch rather than silently misinterpreting
+	// plane geometry.
+	Config Config
+	// RefsReplayed records how many references of the source trace had
+	// been replayed at the checkpoint, so a resumer knows where to
+	// continue. Purely advisory for non-replay uses (zero when the caller
+	// never sets it).
+	RefsReplayed int
+	Steps        uint64
+	Rounds       uint64
+	Memory       []word.Word
+	Bus          *bus.Snapshot
+	Caches       []*cache.Snapshot
+}
+
+// Checkpoint captures the machine's complete simulated state.
+func (m *Machine) Checkpoint() *Snapshot {
+	s := &Snapshot{
+		Config: m.cfg,
+		Steps:  m.steps,
+		Rounds: m.rounds,
+		Memory: m.memory.Snapshot(),
+		Bus:    m.bus.Snapshot(),
+		Caches: make([]*cache.Snapshot, len(m.caches)),
+	}
+	for i, c := range m.caches {
+		s.Caches[i] = c.Snapshot()
+	}
+	return s
+}
+
+// Restore overwrites the machine's simulated state from a snapshot taken
+// on a machine with an identical configuration. Probe sinks and attached
+// processors are wiring, not simulated state, and are left as they are.
+func (m *Machine) Restore(s *Snapshot) error {
+	if s.Config != m.cfg {
+		return fmt.Errorf("machine: snapshot config %+v does not match machine %+v", s.Config, m.cfg)
+	}
+	if len(s.Caches) != len(m.caches) {
+		return fmt.Errorf("machine: snapshot has %d caches, machine has %d", len(s.Caches), len(m.caches))
+	}
+	if err := m.memory.Restore(s.Memory); err != nil {
+		return err
+	}
+	if err := m.bus.Restore(s.Bus); err != nil {
+		return err
+	}
+	for i, c := range m.caches {
+		if err := c.Restore(s.Caches[i]); err != nil {
+			return fmt.Errorf("machine: PE %d: %w", i, err)
+		}
+	}
+	m.steps = s.Steps
+	m.rounds = s.Rounds
+	return nil
+}
+
+// snapshotMagic versions the on-disk checkpoint format; bump it when the
+// Snapshot schema changes incompatibly.
+const snapshotMagic = "PIMCKPT1\n"
+
+// Encode serializes the snapshot with encoding/gob behind a magic/version
+// header. Checkpoints are host-internal artifacts (sweep caches, resume
+// files), so a self-describing stdlib format beats a hand-rolled one.
+func (s *Snapshot) Encode(w io.Writer) error {
+	if _, err := io.WriteString(w, snapshotMagic); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// DecodeSnapshot reads a snapshot written by Encode.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	got := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(r, got); err != nil {
+		return nil, err
+	}
+	if string(got) != snapshotMagic {
+		return nil, fmt.Errorf("machine: bad checkpoint magic %q", got)
+	}
+	s := new(Snapshot)
+	if err := gob.NewDecoder(r).Decode(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -157,6 +157,22 @@ func (m *Memory) WriteBlock(base word.Addr, src []word.Word) {
 	copy(m.words[base:int(base)+len(src)], src)
 }
 
+// Snapshot returns a copy of the full word store, for machine-level
+// checkpoints.
+func (m *Memory) Snapshot() []word.Word {
+	return append([]word.Word(nil), m.words...)
+}
+
+// Restore overwrites the word store from a snapshot of a memory with the
+// same layout.
+func (m *Memory) Restore(words []word.Word) error {
+	if len(words) != len(m.words) {
+		return fmt.Errorf("mem: snapshot has %d words, memory has %d", len(words), len(m.words))
+	}
+	copy(m.words, words)
+	return nil
+}
+
 // Accessor is the simulated-memory access interface used by the KL1
 // runtime. It is implemented by each PE's cache port; every call may
 // generate cache and bus activity. The optimized operations degrade to

@@ -148,18 +148,30 @@ func (p *recordingPort) ReadInvalidate(a word.Addr) word.Word {
 // replays — the loop dispatches on the concrete type, avoiding an
 // interface-method call per reference.
 func Replay(t *Trace, ports []mem.Accessor) error {
+	return ReplayRange(t, ports, 0, len(t.Refs))
+}
+
+// ReplayRange replays the half-open reference range [lo, hi). It is the
+// checkpoint-resume and shard entry point: a resumer restores a machine
+// snapshot taken after k references and continues with ReplayRange(t,
+// ports, k, t.Len()); the sharded replayer feeds each worker its own
+// partition. Reported ref indices in errors are absolute trace positions.
+func ReplayRange(t *Trace, ports []mem.Accessor, lo, hi int) error {
 	if len(ports) < t.PEs {
 		return fmt.Errorf("trace: need %d ports, have %d", t.PEs, len(ports))
+	}
+	if lo < 0 || hi > len(t.Refs) || lo > hi {
+		return fmt.Errorf("trace: range [%d, %d) outside trace of %d refs", lo, hi, len(t.Refs))
 	}
 	caches := make([]*cache.Cache, t.PEs)
 	for i := 0; i < t.PEs; i++ {
 		c, ok := ports[i].(*cache.Cache)
 		if !ok {
-			return replayGeneric(t, ports)
+			return replayGeneric(t, ports, lo, hi)
 		}
 		caches[i] = c
 	}
-	refs := t.Refs
+	refs := t.Refs[lo:hi]
 	for i := range refs {
 		ref := &refs[i]
 		port := caches[ref.PE]
@@ -170,7 +182,7 @@ func Replay(t *Trace, ports []mem.Accessor) error {
 			port.Write(ref.Addr, 0)
 		case cache.OpLR:
 			if _, ok := port.LockRead(ref.Addr); !ok {
-				return fmt.Errorf("trace: ref %d: LR %#x blocked during replay", i, ref.Addr)
+				return fmt.Errorf("trace: ref %d: LR %#x blocked during replay", lo+i, ref.Addr)
 			}
 		case cache.OpUW:
 			port.UnlockWrite(ref.Addr, 0)
@@ -185,7 +197,7 @@ func Replay(t *Trace, ports []mem.Accessor) error {
 		case cache.OpRI:
 			port.ReadInvalidate(ref.Addr)
 		default:
-			return fmt.Errorf("trace: ref %d: unknown op %d", i, ref.Op)
+			return fmt.Errorf("trace: ref %d: unknown op %d", lo+i, ref.Op)
 		}
 	}
 	return nil
@@ -193,8 +205,8 @@ func Replay(t *Trace, ports []mem.Accessor) error {
 
 // replayGeneric is the interface-dispatch path for non-cache accessors
 // (e.g. mem.DirectAccessor in tests).
-func replayGeneric(t *Trace, ports []mem.Accessor) error {
-	for i, ref := range t.Refs {
+func replayGeneric(t *Trace, ports []mem.Accessor, lo, hi int) error {
+	for i, ref := range t.Refs[lo:hi] {
 		port := ports[ref.PE]
 		switch ref.Op {
 		case cache.OpR:
@@ -203,7 +215,7 @@ func replayGeneric(t *Trace, ports []mem.Accessor) error {
 			port.Write(ref.Addr, 0)
 		case cache.OpLR:
 			if _, ok := port.LockRead(ref.Addr); !ok {
-				return fmt.Errorf("trace: ref %d: LR %#x blocked during replay", i, ref.Addr)
+				return fmt.Errorf("trace: ref %d: LR %#x blocked during replay", lo+i, ref.Addr)
 			}
 		case cache.OpUW:
 			port.UnlockWrite(ref.Addr, 0)
@@ -218,7 +230,7 @@ func replayGeneric(t *Trace, ports []mem.Accessor) error {
 		case cache.OpRI:
 			port.ReadInvalidate(ref.Addr)
 		default:
-			return fmt.Errorf("trace: ref %d: unknown op %d", i, ref.Op)
+			return fmt.Errorf("trace: ref %d: unknown op %d", lo+i, ref.Op)
 		}
 	}
 	return nil
