@@ -36,6 +36,7 @@ func main() {
 		verbose = flag.Bool("v", false, "print progress")
 		jobs    = flag.Int("jobs", 0, "concurrent simulations (0 = all CPU cores, 1 = serial)")
 		warm    = flag.Bool("warm", false, "share warmed checkpoints among replays with identical configs")
+		sOnly   = flag.Bool("statsonly", false, "run replays without a data plane (identical tables, less memory and time)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -59,6 +60,7 @@ func main() {
 	o.Quick = *quick
 	o.Jobs = *jobs
 	o.WarmedSweeps = *warm
+	o.StatsOnly = *sOnly
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}

@@ -41,6 +41,7 @@ func main() {
 		intervals = flag.Uint64("intervals", 0, "print interval metrics every N simulated cycles")
 		csvOut    = flag.String("csv", "", "write the interval metrics as CSV to this file (needs -intervals)")
 		hotspots  = flag.Int("hotspots", 0, "print the top-K most contended blocks")
+		statsOnly = flag.Bool("statsonly", false, "replay without a data plane (identical statistics and events, less memory and time)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -63,17 +64,21 @@ func main() {
 	if err != nil {
 		fatal2(err)
 	}
+	ccfg.StatsOnly = *statsOnly
 	stopProfiles, err = cliutil.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
 		fatal2(err)
 	}
 
+	// The trace streams through the validating decoder during the replay
+	// itself — the reference slice is never materialized, so multi-
+	// gigabyte traces profile in constant memory.
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	tr, err := trace.Read(f)
-	f.Close()
+	defer f.Close()
+	d, err := trace.NewReader(f)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,7 +92,7 @@ func main() {
 			fatal(err)
 		}
 		eventsFile = ef
-		pf = probe.NewPerfetto(ef, tr.PEs)
+		pf = probe.NewPerfetto(ef, d.PEs())
 		sinks = append(sinks, pf)
 	}
 	var iv *probe.Intervals
@@ -97,17 +102,17 @@ func main() {
 	}
 	var hs *probe.HotSpots
 	if *hotspots > 0 {
-		hs = probe.NewHotSpots(ccfg.BlockWords, tr.Layout.Bounds().AreaOf)
+		hs = probe.NewHotSpots(ccfg.BlockWords, d.Layout().Bounds().AreaOf)
 		sinks = append(sinks, hs)
 	}
 
 	timing := bus.Timing{MemCycles: 8, WidthWords: *width}
-	bs, cs, err := bench.ReplayConfigProbed(tr, ccfg, timing, probe.Multi(sinks...))
+	bs, cs, refs, err := bench.ReplayReader(d, ccfg, timing, probe.Multi(sinks...))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("replayed %d references (%d PEs): %d bus cycles, miss ratio %.4f\n",
-		tr.Len(), tr.PEs, bs.TotalCycles, cs.MissRatio())
+		refs, d.PEs(), bs.TotalCycles, cs.MissRatio())
 
 	if iv != nil {
 		fmt.Println(iv.Table())

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pimcache/internal/bench"
@@ -19,8 +20,6 @@ import (
 	"pimcache/internal/bus"
 	"pimcache/internal/cache"
 	"pimcache/internal/cliutil"
-	"pimcache/internal/machine"
-	"pimcache/internal/mem"
 	"pimcache/internal/stats"
 	"pimcache/internal/synth"
 	"pimcache/internal/trace"
@@ -108,26 +107,51 @@ func synthesize(args []string) {
 	fmt.Printf("generated %d %s references to %s\n", tr.Len(), *kind, *out)
 }
 
+// info prints the header and per-op/per-PE histograms without replaying.
+// It streams the file through the validating decoder in chunks, so a
+// multi-gigabyte trace is summarized in constant memory.
 func info(args []string) {
 	if len(args) != 1 {
 		fatal(fmt.Errorf("info: one trace file expected"))
 	}
-	tr := readTrace(args[0])
-	var byOp [cache.NumOps]uint64
-	var byPE [256]uint64
-	for _, r := range tr.Refs {
-		byOp[r.Op]++
-		byPE[r.PE]++
+	f, err := os.Open(args[0])
+	if err != nil {
+		fatal(err)
 	}
-	fmt.Printf("%s: %d references, %d PEs\n", args[0], tr.Len(), tr.PEs)
+	defer f.Close()
+	d, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	var byOp [cache.NumOps]uint64
+	byPE := make([]uint64, d.PEs())
+	buf := make([]trace.Ref, 4096)
+	var total uint64
+	for {
+		n, err := d.Next(buf)
+		for _, r := range buf[:n] {
+			byOp[r.Op]++
+			byPE[r.PE]++
+		}
+		total += uint64(n)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	lay := d.Layout()
+	fmt.Printf("%s: %d references, %d PEs, layout %d words\n",
+		args[0], total, d.PEs(), lay.TotalWords())
 	t := &stats.Table{Columns: []string{"op", "count", "%"}}
 	for op := cache.Op(0); op < cache.NumOps; op++ {
 		t.AddRow(op.String(), fmt.Sprint(byOp[op]),
-			fmt.Sprintf("%.2f", stats.Pct(byOp[op], uint64(tr.Len()))))
+			fmt.Sprintf("%.2f", stats.Pct(byOp[op], total)))
 	}
 	fmt.Println(t)
 	t2 := &stats.Table{Columns: []string{"PE", "refs"}}
-	for pe := 0; pe < tr.PEs; pe++ {
+	for pe := 0; pe < d.PEs(); pe++ {
 		t2.AddRow(fmt.Sprint(pe), fmt.Sprint(byPE[pe]))
 	}
 	fmt.Println(t2)
@@ -140,7 +164,8 @@ func replay(args []string) {
 	ways := fs.Int("ways", 4, "associativity")
 	optsName := fs.String("opts", "all", "none, heap, goal, comm, all")
 	width := fs.Int("buswidth", 1, "bus width in words")
-	shards := fs.Int("shards", 1, "partition the replay across N cores by cache set (identical statistics)")
+	shards := fs.Int("shards", 1, "partition the replay across N cores by cache set (identical statistics; materializes the trace)")
+	statsOnly := fs.Bool("statsonly", false, "replay without a data plane (identical statistics, less memory and time)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		fatal(fmt.Errorf("replay: one trace file expected"))
@@ -148,34 +173,41 @@ func replay(args []string) {
 	if *shards < 0 {
 		fatal(fmt.Errorf("replay: -shards must be non-negative (got %d)", *shards))
 	}
-	tr := readTrace(fs.Arg(0))
 	ccfg, err := cliutil.BuildCacheConfig(*size, *block, *ways, *optsName, "pim")
 	if err != nil {
 		fatal(err)
 	}
+	ccfg.StatsOnly = *statsOnly
 	timing := bus.Timing{MemCycles: 8, WidthWords: *width}
 	var bs bus.Stats
 	var cs cache.Stats
+	var refs int
 	if *shards > 1 {
+		// Sharding partitions by cache set, which needs the whole stream
+		// in memory; the single-shard path streams instead.
+		tr := readTrace(fs.Arg(0))
 		bs, cs, err = bench.ReplayConfigSharded(tr, ccfg, timing, *shards)
 		if err != nil {
 			fatal(err)
 		}
+		refs = tr.Len()
 	} else {
-		m := machine.New(machine.Config{
-			PEs: tr.PEs, Layout: tr.Layout, Cache: ccfg, Timing: timing,
-		})
-		ports := make([]mem.Accessor, tr.PEs)
-		for i := range ports {
-			ports[i] = m.Port(i)
-		}
-		if err := trace.Replay(tr, ports); err != nil {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
 			fatal(err)
 		}
-		bs, cs = m.BusStats(), m.CacheStats()
+		defer f.Close()
+		d, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		bs, cs, refs, err = bench.ReplayReader(d, ccfg, timing, nil)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("replayed %d references: %d bus cycles, miss ratio %.4f, mem busy %d\n",
-		tr.Len(), bs.TotalCycles, cs.MissRatio(), bs.MemBusyCycles)
+		refs, bs.TotalCycles, cs.MissRatio(), bs.MemBusyCycles)
 	for p := bus.Pattern(0); p < bus.NumPatterns; p++ {
 		if bs.CountByPattern[p] > 0 {
 			fmt.Printf("  %-20s %8d ops %10d cycles\n", p, bs.CountByPattern[p], bs.CyclesByPattern[p])

@@ -70,6 +70,14 @@ type Options struct {
 	// the flag on or off (the warmed-determinism oracle pins this); the
 	// flag only removes redundant prefix work.
 	WarmedSweeps bool
+	// StatsOnly runs every replay job with the data plane compiled out
+	// (cache.Config.StatsOnly): no cache data arrays, no memory words, no
+	// fetch-buffer copies. Statistics and probe streams are bit-identical
+	// to the data-carrying path (the stats-only equivalence oracle pins
+	// this); the flag only removes data movement. Live runs are
+	// unaffected — they record with a data-carrying configuration, since
+	// program execution consumes the values.
+	StatsOnly bool
 }
 
 // DefaultOptions mirrors the paper's evaluation.
@@ -175,6 +183,11 @@ func RunLiveTiming(b programs.Benchmark, scale, pes int, ccfg cache.Config, timi
 }
 
 func runLive(b programs.Benchmark, scale, pes int, ccfg cache.Config, timing bus.Timing, record bool, sink probe.Sink) (*RunData, *trace.Trace, error) {
+	if ccfg.StatsOnly {
+		// machine.Run would panic anyway; fail with a benchmark-labelled
+		// error first so callers get a diagnosable message.
+		return nil, nil, fmt.Errorf("%s: live run needs data values (unification reads them back): cache config is stats-only, which supports trace replay only", b.Name)
+	}
 	prog, err := parser.Parse(b.Source(scale))
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: parse: %w", b.Name, err)
@@ -257,6 +270,45 @@ func ReplayConfigProbed(tr *trace.Trace, ccfg cache.Config, timing bus.Timing, s
 		return bus.Stats{}, cache.Stats{}, err
 	}
 	return m.BusStats(), m.CacheStats(), nil
+}
+
+// ReplayPacked replays a pre-decoded stream (trace.Pack) against a cache
+// configuration and bus timing. Combined with a stats-only configuration
+// this is the fastest replay path: the loop walks a flat word stream with
+// the area class pre-resolved and never touches a data plane.
+func ReplayPacked(p *trace.Packed, ccfg cache.Config, timing bus.Timing) (bus.Stats, cache.Stats, error) {
+	mcfg := machine.Config{PEs: p.PEs, Layout: p.Layout, Cache: ccfg, Timing: timing}
+	m := machine.New(mcfg)
+	caches := make([]*cache.Cache, p.PEs)
+	for i := range caches {
+		caches[i] = m.Cache(i)
+	}
+	if err := p.Replay(caches); err != nil {
+		return bus.Stats{}, cache.Stats{}, err
+	}
+	return m.BusStats(), m.CacheStats(), nil
+}
+
+// ReplayReader replays a serialized stream directly from its Reader in
+// chunks, never materializing the reference slice — multi-gigabyte traces
+// replay in constant memory. It returns the statistics plus how many
+// references were replayed. A non-nil sink receives the memory-system
+// event stream exactly as ReplayConfigProbed delivers it.
+func ReplayReader(d *trace.Reader, ccfg cache.Config, timing bus.Timing, sink probe.Sink) (bus.Stats, cache.Stats, int, error) {
+	mcfg := machine.Config{PEs: d.PEs(), Layout: d.Layout(), Cache: ccfg, Timing: timing}
+	m := machine.New(mcfg)
+	if sink != nil {
+		m.SetProbe(sink)
+	}
+	ports := make([]mem.Accessor, d.PEs())
+	for i := range ports {
+		ports[i] = m.Port(i)
+	}
+	n, err := trace.ReplayStream(d, ports)
+	if err != nil {
+		return bus.Stats{}, cache.Stats{}, n, err
+	}
+	return m.BusStats(), m.CacheStats(), n, nil
 }
 
 // SweepPoint is one configuration point of a Figure 1/2 sweep.
@@ -488,6 +540,8 @@ func mergeDefaults(o Options) Options {
 	d.Progress = o.Progress
 	d.Jobs = o.Jobs
 	d.DisableBusFilters = o.DisableBusFilters
+	d.WarmedSweeps = o.WarmedSweeps
+	d.StatsOnly = o.StatsOnly
 	if o.PESweep != nil {
 		d.PESweep = o.PESweep
 	}

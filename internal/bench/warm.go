@@ -147,27 +147,40 @@ func newReplayMachine(tr *trace.Trace, ccfg cache.Config, timing bus.Timing) (*m
 }
 
 // replayer routes a benchmark's replay jobs either cold (ReplayConfig) or
-// through a shared WarmCache when Options.WarmedSweeps is set.
+// through a shared WarmCache when Options.WarmedSweeps is set, and stamps
+// Options.StatsOnly onto every job's configuration.
 type replayer struct {
-	warm *WarmCache
+	warm      *WarmCache
+	statsOnly bool
 }
 
 // newReplayer builds the per-benchmark replayer: with warmed sweeps on it
 // registers every replay configuration the sweep will request, so the
 // warm cache knows which configurations recur and deserve a checkpoint.
+// Registration applies the same StatsOnly stamp Replay does — warm keys
+// are exact configuration matches, so the two must agree.
 func (o Options) newReplayer(traceLen int) *replayer {
+	r := &replayer{statsOnly: o.StatsOnly}
 	if !o.WarmedSweeps {
-		return &replayer{}
+		return r
 	}
 	wc := NewWarmCache(traceLen / 2)
 	for _, k := range o.replayKeys() {
-		wc.Register(k.cfg, k.timing)
+		cfg := k.cfg
+		if r.statsOnly {
+			cfg.StatsOnly = true
+		}
+		wc.Register(cfg, k.timing)
 	}
-	return &replayer{warm: wc}
+	r.warm = wc
+	return r
 }
 
 // Replay dispatches one replay job.
 func (r *replayer) Replay(tr *trace.Trace, ccfg cache.Config, timing bus.Timing) (bus.Stats, cache.Stats, error) {
+	if r.statsOnly {
+		ccfg.StatsOnly = true
+	}
 	if r.warm != nil {
 		return r.warm.Replay(tr, ccfg, timing)
 	}

@@ -271,7 +271,10 @@ type Bus struct {
 	timing     Timing
 	blockWords int
 	memory     *mem.Memory
-	areaOf     func(word.Addr) mem.Area
+	// bounds is the memory's area map, copied in so account's
+	// per-transaction area attribution is a static, inlinable call
+	// instead of an indirect one through a func value.
+	bounds mem.Bounds
 	snoopers   []Snooper
 	lockUnits  []LockUnit
 	stats      Stats
@@ -279,12 +282,28 @@ type Bus struct {
 	// Presence filters and the reusable fetch buffer (see type comment).
 	noFilters  bool
 	poison     bool
-	presence   []uint64
-	blockShift uint
+	statsOnly  bool
+	// presence is the block-residency filter, paged: page p covers
+	// blocks [p<<presencePageShift, (p+1)<<presencePageShift) and is
+	// allocated on the first install within it. A nil page means no
+	// holders anywhere in its range. Paging keeps construction from
+	// zeroing a table proportional to the whole address space (the
+	// dominant allocation of a short replay); every access is on the
+	// miss path, so the extra indirection never taxes cache hits.
+	presence       [][]uint64
+	presenceBlocks int
+	blockShift     uint
 	lockCounts []uint32
 	totalLocks int
 	allMask    uint64
 	blockBuf   []word.Word
+
+	// cycleTab and memBusyTab are Timing.Cycles and the memory-module
+	// occupancy precomputed per pattern at construction: account runs on
+	// every bus transaction, and two table loads beat the switch and
+	// transfer-width division.
+	cycleTab   [NumPatterns]uint64
+	memBusyTab [NumPatterns]uint64
 
 	// probe, when non-nil, receives cycle-stamped telemetry events;
 	// ticks is the probe clock's per-reference component (see
@@ -312,6 +331,14 @@ type Config struct {
 	// a contract-violating reader would observe. The coherence checker
 	// and the poison-equivalence tests enable it.
 	PoisonFetchData bool
+	// StatsOnly elides all data movement: fetches return nil Data,
+	// write-backs and word writes touch no memory, and the fetch buffer
+	// is never copied into. Every cycle, pattern, command and
+	// memory-busy counter is accounted exactly as in the data-carrying
+	// path (supply-source selection uses an explicit from-cache flag,
+	// not Data presence). Pair with cache.Config.StatsOnly and a
+	// mem.NewStatsOnly memory; machine.New wires all three together.
+	StatsOnly bool
 }
 
 // New creates a bus over the given shared memory.
@@ -325,18 +352,34 @@ func New(cfg Config, memory *mem.Memory) *Bus {
 		panic("bus: invalid timing")
 	}
 	shift := uint(bits.TrailingZeros(uint(cfg.BlockWords)))
+	blocks := (memory.Size() + cfg.BlockWords - 1) / cfg.BlockWords
+	var cycleTab, memBusyTab [NumPatterns]uint64
+	for p := Pattern(0); p < NumPatterns; p++ {
+		cycleTab[p] = cfg.Timing.Cycles(p, cfg.BlockWords)
+		switch p {
+		case PatSwapInMem, PatSwapInMemSwapOut, PatSwapOutOnly, PatWordWrite:
+			memBusyTab[p] = uint64(cfg.Timing.MemCycles)
+		}
+	}
 	return &Bus{
 		timing:     cfg.Timing,
 		blockWords: cfg.BlockWords,
 		memory:     memory,
-		areaOf:     memory.AreaOf,
+		bounds:     memory.Bounds(),
 		noFilters:  cfg.DisableFilters,
 		poison:     cfg.PoisonFetchData,
-		presence:   make([]uint64, (memory.Size()+cfg.BlockWords-1)/cfg.BlockWords),
-		blockShift: shift,
+		statsOnly:  cfg.StatsOnly,
+		presence:       make([][]uint64, (blocks+presencePageLen-1)/presencePageLen),
+		presenceBlocks: blocks,
+		blockShift:     shift,
 		blockBuf:   make([]word.Word, cfg.BlockWords),
+		cycleTab:   cycleTab,
+		memBusyTab: memBusyTab,
 	}
 }
+
+// StatsOnly reports whether the bus elides data movement.
+func (b *Bus) StatsOnly() bool { return b.statsOnly }
 
 // PoisonWord is the pattern PoisonFetchData scribbles into the fetch
 // buffer (plus the word index in the low bits), chosen to be loud in
@@ -371,18 +414,45 @@ func (b *Bus) Attach(p int, s Snooper, l LockUnit) {
 
 // --- presence-filter notification API (called by the caches) ---
 
+// presencePageLen is the presence-filter page size in blocks.
+const (
+	presencePageShift = 12
+	presencePageLen   = 1 << presencePageShift
+	presencePageMask  = presencePageLen - 1
+)
+
+// presenceAt reads the holder mask for block index idx (addr>>blockShift).
+func (b *Bus) presenceAt(idx word.Addr) uint64 {
+	pg := b.presence[idx>>presencePageShift]
+	if pg == nil {
+		return 0
+	}
+	return pg[idx&presencePageMask]
+}
+
 // BlockInstalled records that pe's cache now holds a valid copy of the
 // block based at base. Caches must call it on every INV→valid transition
 // (fetch install, direct-write allocation) with the block's base address.
 func (b *Bus) BlockInstalled(pe int, base word.Addr) {
-	b.presence[base>>b.blockShift] |= 1 << uint(pe)
+	idx := base >> b.blockShift
+	pg := b.presence[idx>>presencePageShift]
+	if pg == nil {
+		pg = make([]uint64, presencePageLen)
+		b.presence[idx>>presencePageShift] = pg
+	}
+	pg[idx&presencePageMask] |= 1 << uint(pe)
 }
 
 // BlockDropped records that pe's cache no longer holds the block based at
 // base. Caches must call it on every valid→INV transition (eviction,
-// remote invalidation, ER/RP purge, flush).
+// remote invalidation, ER/RP purge, flush). A drop implies an earlier
+// install, so the page exists; the nil check only keeps a spurious drop
+// harmless.
 func (b *Bus) BlockDropped(pe int, base word.Addr) {
-	b.presence[base>>b.blockShift] &^= 1 << uint(pe)
+	idx := base >> b.blockShift
+	if pg := b.presence[idx>>presencePageShift]; pg != nil {
+		pg[idx&presencePageMask] &^= 1 << uint(pe)
+	}
 }
 
 // LockAcquired records that pe's lock directory registered one more held
@@ -407,7 +477,7 @@ func (b *Bus) LockReleased(pe int) {
 // containing addr (bit i set = PE i holds a copy). Tests cross-check it
 // against ScanHolders.
 func (b *Bus) HolderMask(addr word.Addr) uint64 {
-	return b.presence[addr>>b.blockShift]
+	return b.presenceAt(addr >> b.blockShift)
 }
 
 // ScanHolders polls every attached snooper's Holds for addr's block and
@@ -436,7 +506,7 @@ func (b *Bus) remoteMask(requester int, base word.Addr) uint64 {
 	if b.noFilters {
 		return b.allMask &^ (1 << uint(requester))
 	}
-	return b.presence[base>>b.blockShift] &^ (1 << uint(requester))
+	return b.presenceAt(base>>b.blockShift) &^ (1 << uint(requester))
 }
 
 // remoteLocks counts locks held by PEs other than requester.
@@ -495,7 +565,7 @@ func (b *Bus) actualHolders(requester int, addr word.Addr) uint64 {
 	if b.noFilters {
 		return b.ScanHolders(addr) &^ (1 << uint(requester))
 	}
-	return b.presence[addr>>b.blockShift] &^ (1 << uint(requester))
+	return b.presenceAt(addr>>b.blockShift) &^ (1 << uint(requester))
 }
 
 // emitBegin and emitEnd report a bus transaction; callers check
@@ -532,17 +602,15 @@ func (b *Bus) emitAborted(requester int, addr word.Addr, cmd uint8, withLock boo
 }
 
 func (b *Bus) account(p Pattern, a word.Addr) uint64 {
-	cy := b.timing.Cycles(p, b.blockWords)
+	cy := b.cycleTab[p]
 	b.stats.TotalCycles += cy
-	b.stats.CyclesByArea[b.areaOf(a)] += cy
+	b.stats.CyclesByArea[b.bounds.AreaOf(a)] += cy
 	b.stats.CyclesByPattern[p] += cy
 	b.stats.CountByPattern[p]++
-	switch p {
-	case PatSwapInMem, PatSwapInMemSwapOut, PatSwapOutOnly, PatWordWrite:
-		// The fetch or lone write-back occupies the memory module once;
-		// hidden victim write-backs are charged by SwapOutHidden.
-		b.stats.MemBusyCycles += uint64(b.timing.MemCycles)
-	}
+	// The fetch or lone write-back occupies the memory module once
+	// (nonzero only for the memory patterns); hidden victim write-backs
+	// are charged by SwapOutHidden.
+	b.stats.MemBusyCycles += b.memBusyTab[p]
 	return cy
 }
 
@@ -652,6 +720,10 @@ func (b *Bus) fetch(requester int, addr word.Addr, inval, victimDirty, withLock 
 		b.emitBegin(requester, addr, uint8(cmd), holders, withLock)
 	}
 	var res FetchResult
+	// Whether some cache supplied the block. Tracked explicitly — not as
+	// res.Data != nil — so the stats-only mode, which never materializes
+	// Data, selects the identical pattern and command counts.
+	fromCache := false
 	// Visit the (filtered) snoop set in ascending PE order — the same
 	// order the unfiltered scan used, so supplier selection is identical.
 	// Snoopers invalidated mid-loop mutate b.presence; m is a local copy,
@@ -666,25 +738,32 @@ func (b *Bus) fetch(requester int, addr word.Addr, inval, victimDirty, withLock 
 			continue
 		}
 		b.stats.Commands[CmdH]++
-		if res.Data == nil {
-			res.Data = append(b.blockBuf[:0], data...)
+		if !fromCache {
+			fromCache = true
 			res.FromCache = true
+			if !b.statsOnly {
+				res.Data = append(b.blockBuf[:0], data...)
+			}
 		}
 		if dirty {
 			// The dirty copy wins: at most one modified copy exists under
 			// either protocol, and it is the authoritative one.
 			res.SupplierDirty = true
-			res.Data = append(res.Data[:0], data...)
+			if !b.statsOnly {
+				res.Data = append(res.Data[:0], data...)
+			}
 		}
 		if retained {
 			res.Shared = true
 		}
 	}
 	var pat Pattern
-	if res.Data == nil {
+	if !fromCache {
 		// No cache held the block: shared memory supplies it.
-		res.Data = b.blockBuf[:b.blockWords]
-		b.memory.ReadBlock(base, res.Data)
+		if !b.statsOnly {
+			res.Data = b.blockBuf[:b.blockWords]
+			b.memory.ReadBlock(base, res.Data)
+		}
 		if victimDirty {
 			pat = PatSwapInMemSwapOut
 		} else {
@@ -726,7 +805,7 @@ func (b *Bus) RemoteLockInBlock(requester int, addr word.Addr) bool {
 // table load; unfiltered it polls every snooper.
 func (b *Bus) RemoteHolder(requester int, addr word.Addr) bool {
 	if !b.noFilters {
-		return b.presence[addr>>b.blockShift]&^(1<<uint(requester)) != 0
+		return b.presenceAt(addr>>b.blockShift)&^(1<<uint(requester)) != 0
 	}
 	for i, s := range b.snoopers {
 		if i == requester || s == nil {
@@ -803,7 +882,9 @@ func (b *Bus) SwapOut(requester int, base word.Addr, data []word.Word) {
 	if b.probe != nil {
 		b.emitBegin(requester, base, probe.CmdNone, 0, false)
 	}
-	b.memory.WriteBlock(base, data)
+	if !b.statsOnly {
+		b.memory.WriteBlock(base, data)
+	}
 	cy := b.account(PatSwapOutOnly, base)
 	if b.probe != nil {
 		b.emitEnd(requester, base, probe.CmdNone, uint8(PatSwapOutOnly), 0, cy)
@@ -814,7 +895,9 @@ func (b *Bus) SwapOut(requester int, base word.Addr, data []word.Word) {
 // bus cycles were already accounted by the with-swap-out fetch pattern,
 // but the memory module is still occupied absorbing the write.
 func (b *Bus) SwapOutHidden(base word.Addr, data []word.Word) {
-	b.memory.WriteBlock(base, data)
+	if !b.statsOnly {
+		b.memory.WriteBlock(base, data)
+	}
 	b.stats.MemBusyCycles += uint64(b.timing.MemCycles)
 }
 
@@ -824,7 +907,9 @@ func (b *Bus) SwapOutHidden(base word.Addr, data []word.Word) {
 // accounted, but the memory module is busy absorbing it), and cache
 // flushes outside measurement windows use it for correctness only.
 func (b *Bus) MemoryWriteBack(base word.Addr, data []word.Word) {
-	b.memory.WriteBlock(base, data)
+	if !b.statsOnly {
+		b.memory.WriteBlock(base, data)
+	}
 	b.stats.MemBusyCycles += uint64(b.timing.MemCycles)
 }
 
@@ -838,7 +923,9 @@ func (b *Bus) WordWrite(requester int, addr word.Addr, w word.Word) {
 		holders = b.actualHolders(requester, addr)
 		b.emitBegin(requester, addr, probe.CmdNone, holders, false)
 	}
-	b.memory.Write(addr, w)
+	if !b.statsOnly {
+		b.memory.Write(addr, w)
+	}
 	cy := b.account(PatWordWrite, addr)
 	for m := b.remoteMask(requester, b.blockBase(addr)); m != 0; m &= m - 1 {
 		if s := b.snoopers[bits.TrailingZeros64(m)]; s != nil {

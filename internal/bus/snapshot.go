@@ -16,11 +16,19 @@ type Snapshot struct {
 	Ticks      uint64
 }
 
-// Snapshot captures the bus's mutable state.
+// Snapshot captures the bus's mutable state. The paged presence filter
+// is flattened to one mask per block, so the serialized form is
+// independent of the in-memory page layout.
 func (b *Bus) Snapshot() *Snapshot {
+	flat := make([]uint64, b.presenceBlocks)
+	for pi, pg := range b.presence {
+		if pg != nil {
+			copy(flat[pi<<presencePageShift:], pg)
+		}
+	}
 	return &Snapshot{
 		Stats:      b.stats,
-		Presence:   append([]uint64(nil), b.presence...),
+		Presence:   flat,
 		LockCounts: append([]uint32(nil), b.lockCounts...),
 		TotalLocks: b.totalLocks,
 		Ticks:      b.ticks,
@@ -30,16 +38,28 @@ func (b *Bus) Snapshot() *Snapshot {
 // Restore overwrites the bus's mutable state from a snapshot taken on a
 // bus with the same geometry (block size, memory footprint, PE count).
 func (b *Bus) Restore(s *Snapshot) error {
-	if len(s.Presence) != len(b.presence) {
+	if len(s.Presence) != b.presenceBlocks {
 		return fmt.Errorf("bus: snapshot presence table has %d blocks, bus has %d",
-			len(s.Presence), len(b.presence))
+			len(s.Presence), b.presenceBlocks)
 	}
 	if len(s.LockCounts) != len(b.lockCounts) {
 		return fmt.Errorf("bus: snapshot has %d PEs, bus has %d",
 			len(s.LockCounts), len(b.lockCounts))
 	}
 	b.stats = s.Stats
-	copy(b.presence, s.Presence)
+	for i := range b.presence {
+		b.presence[i] = nil
+	}
+	for idx, m := range s.Presence {
+		if m != 0 {
+			pg := b.presence[idx>>presencePageShift]
+			if pg == nil {
+				pg = make([]uint64, presencePageLen)
+				b.presence[idx>>presencePageShift] = pg
+			}
+			pg[idx&presencePageMask] = m
+		}
+	}
 	copy(b.lockCounts, s.LockCounts)
 	b.totalLocks = s.TotalLocks
 	b.ticks = s.Ticks

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"pimcache/internal/bus"
 	"pimcache/internal/kl1/word"
@@ -14,13 +15,13 @@ import (
 // bus side.
 //
 // Storage is struct-of-arrays: instead of a slice-of-slices of line
-// structs, the directory lives in four flat planes indexed by frame
-// number (set*ways + way). A lookup touches only the state and base
-// planes — a handful of consecutive bytes per set — so the per-reference
-// hot path walks one or two cache lines of host memory instead of
-// chasing pointers into per-line structs. The data plane is one flat
-// word slice (frame f's block at f*BlockWords), and LRU clocks live in
-// their own plane touched only on hits and installs.
+// structs, the directory lives in flat planes indexed by frame number
+// (set*ways + way). The hot path — lookup, LRU touch, victim choice —
+// scans a packed tag plane where a default-geometry set is half a host
+// cache line, so a reference costs one or two lines of host memory
+// instead of chasing pointers into per-line structs. The state and
+// base planes back the coherence bookkeeping, and the data plane is
+// one flat word slice (frame f's block at f*BlockWords).
 //
 // A Cache is not safe for concurrent use; the machine steps PEs
 // deterministically and the bus serializes all coherence activity.
@@ -28,19 +29,39 @@ type Cache struct {
 	cfg    Config
 	pe     int
 	bus    *bus.Bus
-	areaOf func(word.Addr) mem.Area
+	// bounds is the shared memory's area map, copied in so the
+	// per-reference area classification is a static, inlinable call
+	// instead of an indirect one through a func value.
+	bounds mem.Bounds
 
-	// SoA planes, indexed by frame = setIndex*ways + way.
+	// SoA planes, indexed by frame = setIndex*ways + way. data is nil
+	// when the cache runs stats-only (noData): coherence never reads it,
+	// so dropping it removes the block copies and DW zero-fills from the
+	// replay hot path without changing any statistic.
 	states []State
 	bases  []word.Addr
-	lru    []uint64
 	data   []word.Word
+	noData bool
+
+	// tags is the hot directory plane: frame f's packed tag is
+	// base<<8|state for a valid frame, invalidTag (zero) otherwise, so a
+	// lookup compares one word per way and a whole default-geometry set
+	// is half a host cache line. The entries mirror states+bases; the
+	// three mutation points (install, setState, drop) keep them
+	// coherent. LRU clocks live in their own plane, touched only on
+	// hits, installs and victim search.
+	tags []uint64
+	lru  []uint64
 
 	ways     int
 	bw       int // block words (frame stride in the data plane)
 	setMask  word.Addr
 	offMask  word.Addr
 	blockW   word.Addr
+	// blockShift is log2(blockW): the set-index computation runs on
+	// every reference, and a shift beats the divide the compiler would
+	// otherwise emit for the variable block size.
+	blockShift uint
 	lruClock uint64
 	dir      *lockDir
 	stats    Stats
@@ -67,23 +88,37 @@ func New(cfg Config, pe int, b *bus.Bus) *Cache {
 		panic(fmt.Sprintf("cache: block size %d differs from bus block size %d",
 			cfg.BlockWords, b.BlockWords()))
 	}
+	if cfg.StatsOnly != b.StatsOnly() {
+		// A stats-only cache supplies nil snoop data; a data-carrying bus
+		// would copy it as a zero block and corrupt other caches. The two
+		// sides must agree (machine.New wires them together).
+		panic(fmt.Sprintf("cache: StatsOnly=%v but bus StatsOnly=%v",
+			cfg.StatsOnly, b.StatsOnly()))
+	}
 	sets := cfg.Sets()
 	frames := sets * cfg.Ways
+	var data []word.Word
+	if !cfg.StatsOnly {
+		data = make([]word.Word, frames*cfg.BlockWords)
+	}
 	c := &Cache{
 		cfg:     cfg,
 		pe:      pe,
 		bus:     b,
-		areaOf:  b.Memory().AreaOf,
+		bounds:  b.Memory().Bounds(),
 		states:  make([]State, frames),
 		bases:   make([]word.Addr, frames),
+		tags:    make([]uint64, frames),
 		lru:     make([]uint64, frames),
-		data:    make([]word.Word, frames*cfg.BlockWords),
+		data:    data,
+		noData:  cfg.StatsOnly,
 		ways:    cfg.Ways,
 		bw:      cfg.BlockWords,
-		setMask: word.Addr(sets - 1),
-		offMask: word.Addr(cfg.BlockWords - 1),
-		blockW:  word.Addr(cfg.BlockWords),
-		dir:     newLockDir(cfg.LockEntries),
+		setMask:    word.Addr(sets - 1),
+		offMask:    word.Addr(cfg.BlockWords - 1),
+		blockW:     word.Addr(cfg.BlockWords),
+		blockShift: uint(bits.TrailingZeros(uint(cfg.BlockWords))),
+		dir:        newLockDir(cfg.LockEntries),
 	}
 	b.Attach(pe, c, c)
 	return c
@@ -115,20 +150,56 @@ func (c *Cache) BlockedOn() word.Addr { return c.blockedOn }
 
 func (c *Cache) blockBase(a word.Addr) word.Addr { return a &^ c.offMask }
 
-// frameData returns frame f's block in the data plane.
+// frameData returns frame f's block in the data plane, or nil when the
+// cache runs stats-only (copies from/to a nil block are no-ops; the bus
+// never dereferences snoop data in stats-only mode).
 func (c *Cache) frameData(f int) []word.Word {
+	if c.noData {
+		return nil
+	}
 	o := f * c.bw
 	return c.data[o : o+c.bw : o+c.bw]
 }
 
+// loadWord returns the cached word at a in frame f (zero when
+// stats-only; replay discards read values).
+func (c *Cache) loadWord(f int, a word.Addr) word.Word {
+	if c.noData {
+		return 0
+	}
+	return c.data[f*c.bw+int(a&c.offMask)]
+}
+
+// storeWord stores w at a in frame f (no-op when stats-only).
+func (c *Cache) storeWord(f int, a word.Addr, w word.Word) {
+	if c.noData {
+		return
+	}
+	c.data[f*c.bw+int(a&c.offMask)] = w
+}
+
+// invalidTag marks an INV frame in the tag plane. Zero is free: a valid
+// frame's tag carries a nonzero state byte (the valid states are 1..4),
+// so no valid tag collides with it, and a fresh plane needs no fill pass
+// beyond make's zeroing.
+const invalidTag = uint64(0)
+
+// frameTag packs a valid frame's identity for the tag plane.
+func frameTag(base word.Addr, st State) uint64 {
+	return uint64(base)<<8 | uint64(st)
+}
+
 // lookup returns the frame holding a, or -1. This is the hot path: it
-// scans the ways of one set through the base and state planes only.
+// scans the ways of one set through the packed tag plane only. A frame
+// matches iff tag^want is a valid (nonzero) state, i.e. in 1..numStates-1
+// — one XOR and one unsigned compare per way.
 func (c *Cache) lookup(a word.Addr) int {
-	base := a &^ c.offMask
-	f := int((a/c.blockW)&c.setMask) * c.ways
-	for end := f + c.ways; f < end; f++ {
-		if c.bases[f] == base && c.states[f] != INV {
-			return f
+	want := uint64(a&^c.offMask) << 8
+	f := int((a>>c.blockShift)&c.setMask) * c.ways
+	d := c.tags[f : f+c.ways]
+	for i := range d {
+		if (d[i]^want)-1 < uint64(numStates)-1 {
+			return f + i
 		}
 	}
 	return -1
@@ -142,14 +213,15 @@ func (c *Cache) touch(f int) {
 // victimFor picks the replacement frame for a block that will be
 // installed at a: an invalid frame if one exists, else the LRU frame.
 func (c *Cache) victimFor(a word.Addr) int {
-	f := int((a/c.blockW)&c.setMask) * c.ways
+	f := int((a>>c.blockShift)&c.setMask) * c.ways
+	d := c.tags[f : f+c.ways]
 	victim := f
-	for end := f + c.ways; f < end; f++ {
-		if c.states[f] == INV {
-			return f
+	for i := range d {
+		if d[i] == invalidTag {
+			return f + i
 		}
-		if c.lru[f] < c.lru[victim] {
-			victim = f
+		if c.lru[f+i] < c.lru[victim] {
+			victim = f + i
 		}
 	}
 	return victim
@@ -172,6 +244,7 @@ func (c *Cache) setState(f int, to State, reason uint64) {
 		c.emitState(c.bases[f], c.states[f], to, reason)
 	}
 	c.states[f] = to
+	c.tags[f] = frameTag(c.bases[f], to)
 }
 
 // install marks frame f as holding the block based at base in state st
@@ -181,6 +254,7 @@ func (c *Cache) setState(f int, to State, reason uint64) {
 func (c *Cache) install(f int, base word.Addr, st State, reason uint64) {
 	c.bases[f] = base
 	c.states[f] = st
+	c.tags[f] = frameTag(base, st)
 	c.bus.BlockInstalled(c.pe, base)
 	if c.probe != nil {
 		c.emitState(base, INV, st, reason)
@@ -198,6 +272,7 @@ func (c *Cache) drop(f int, reason uint64) {
 			c.emitState(c.bases[f], c.states[f], INV, reason)
 		}
 		c.states[f] = INV
+		c.tags[f] = invalidTag
 	}
 }
 
@@ -274,11 +349,11 @@ func (c *Cache) readInternal(a word.Addr, op Op) word.Word {
 	if f := c.lookup(a); f >= 0 {
 		c.stats.Hits[op]++
 		c.touch(f)
-		return c.data[f*c.bw+int(a&c.offMask)]
+		return c.loadWord(f, a)
 	}
 	c.miss(a, op)
 	f := c.fetchInto(a, false)
-	return c.data[f*c.bw+int(a&c.offMask)]
+	return c.loadWord(f, a)
 }
 
 // writeInternal is the plain-write path shared by W, UW and degraded DW.
@@ -292,7 +367,7 @@ func (c *Cache) writeInternal(a word.Addr, w word.Word, op Op) {
 		if f := c.lookup(a); f >= 0 {
 			c.stats.Hits[op]++
 			c.touch(f)
-			c.data[f*c.bw+int(a&c.offMask)] = w
+			c.storeWord(f, a, w)
 		} else {
 			c.miss(a, op)
 		}
@@ -321,7 +396,7 @@ func (c *Cache) writeInternal(a word.Addr, w word.Word, op Op) {
 		case EC:
 			c.setState(f, EM, probe.ReasonWrite)
 		}
-		c.data[f*c.bw+int(a&c.offMask)] = w
+		c.storeWord(f, a, w)
 		return
 	}
 	c.miss(a, op)
@@ -332,11 +407,19 @@ func (c *Cache) writeInternal(a word.Addr, w word.Word, op Op) {
 	} else {
 		c.setState(f, EM, probe.ReasonWrite)
 	}
-	c.data[f*c.bw+int(a&c.offMask)] = w
+	c.storeWord(f, a, w)
 }
 
 func (c *Cache) countRef(a word.Addr, op Op) mem.Area {
-	area := c.areaOf(a)
+	area := c.bounds.AreaOf(a)
+	c.countRefIn(a, area, op)
+	return area
+}
+
+// countRefIn is countRef with the area already classified — the packed
+// pre-decoded replay path computes each ref's area once per trace and
+// skips the per-reference AreaOf branch chain.
+func (c *Cache) countRefIn(a word.Addr, area mem.Area, op Op) {
 	c.stats.Refs[area][op]++
 	if c.probe != nil {
 		// The reference advances the probe clock by one cycle (the cache
@@ -348,7 +431,6 @@ func (c *Cache) countRef(a word.Addr, op Op) mem.Area {
 			Addr: a, A: uint8(op),
 		})
 	}
-	return area
 }
 
 // Read implements the R operation.
@@ -370,6 +452,10 @@ func (c *Cache) Write(a word.Addr, w word.Word) {
 // holds the target block; Config.VerifyDW checks that contract.
 func (c *Cache) DirectWrite(a word.Addr, w word.Word) {
 	area := c.countRef(a, OpDW)
+	c.directWrite(a, w, area)
+}
+
+func (c *Cache) directWrite(a word.Addr, w word.Word, area mem.Area) {
 	if c.cfg.Protocol == ProtocolWriteThrough {
 		// DW exists to avoid the fetch-on-write of a copy-back cache;
 		// write-through has no fetch-on-write to avoid.
@@ -401,11 +487,13 @@ func (c *Cache) DirectWrite(a word.Addr, w word.Word) {
 		c.stats.SwapOuts++
 	}
 	c.drop(victim, probe.ReasonEvict)
-	vd := c.frameData(victim)
-	for i := range vd {
-		vd[i] = 0
+	if !c.noData {
+		vd := c.frameData(victim)
+		for i := range vd {
+			vd[i] = 0
+		}
+		vd[a&c.offMask] = w
 	}
-	vd[a&c.offMask] = w
 	c.install(victim, c.blockBase(a), EM, probe.ReasonDirectWrite)
 	c.touch(victim)
 }
@@ -417,6 +505,10 @@ func (c *Cache) DirectWrite(a word.Addr, w word.Word) {
 // a plain R.
 func (c *Cache) ExclusiveRead(a word.Addr) word.Word {
 	area := c.countRef(a, OpER)
+	return c.exclusiveRead(a, area)
+}
+
+func (c *Cache) exclusiveRead(a word.Addr, area mem.Area) word.Word {
 	if c.cfg.Protocol == ProtocolWriteThrough {
 		c.stats.ERDegraded++
 		return c.readInternal(a, OpER)
@@ -429,7 +521,7 @@ func (c *Cache) ExclusiveRead(a word.Addr) word.Word {
 	if f := c.lookup(a); f >= 0 {
 		c.stats.Hits[OpER]++
 		c.touch(f)
-		v := c.data[f*c.bw+int(a&c.offMask)]
+		v := c.loadWord(f, a)
 		if last {
 			// Case (ii): the block is dead after this read; discard it
 			// even if modified — that is the whole point (the data is
@@ -449,12 +541,12 @@ func (c *Cache) ExclusiveRead(a word.Addr) word.Word {
 		// Case (i): fetch with invalidation of the supplier.
 		c.stats.ERInval++
 		f := c.fetchInto(a, true)
-		return c.data[f*c.bw+int(a&c.offMask)]
+		return c.loadWord(f, a)
 	}
 	// Case (iii).
 	c.stats.ERDegraded++
 	f := c.fetchInto(a, false)
-	return c.data[f*c.bw+int(a&c.offMask)]
+	return c.loadWord(f, a)
 }
 
 // ReadPurge implements RP per Section 3.2(3): on a hit the block is
@@ -463,6 +555,10 @@ func (c *Cache) ExclusiveRead(a word.Addr) word.Word {
 // (the fetched block is "forcibly purged after the RP operation").
 func (c *Cache) ReadPurge(a word.Addr) word.Word {
 	area := c.countRef(a, OpRP)
+	return c.readPurge(a, area)
+}
+
+func (c *Cache) readPurge(a word.Addr, area mem.Area) word.Word {
 	if c.cfg.Protocol == ProtocolWriteThrough {
 		c.stats.RPDegraded++
 		return c.readInternal(a, OpRP)
@@ -473,7 +569,7 @@ func (c *Cache) ReadPurge(a word.Addr) word.Word {
 	}
 	if f := c.lookup(a); f >= 0 {
 		c.stats.Hits[OpRP]++
-		v := c.data[f*c.bw+int(a&c.offMask)]
+		v := c.loadWord(f, a)
 		if c.states[f].Dirty() {
 			c.stats.PurgedDirty++
 		}
@@ -489,13 +585,16 @@ func (c *Cache) ReadPurge(a word.Addr) word.Word {
 			res = c.bus.FetchForced(c.pe, a, true, false)
 		}
 		c.stats.RPApplied++
+		if c.noData {
+			return 0
+		}
 		return res.Data[a&c.offMask]
 	}
 	// Memory-resident block: a plain read (the paper defines the purge
 	// behaviour only for hits and remote suppliers).
 	c.stats.RPDegraded++
 	f := c.fetchInto(a, false)
-	return c.data[f*c.bw+int(a&c.offMask)]
+	return c.loadWord(f, a)
 }
 
 // ReadInvalidate implements RI per Section 3.2(4): a read that takes the
@@ -503,6 +602,10 @@ func (c *Cache) ReadPurge(a word.Addr) word.Word {
 // rewrite that immediately follows needs no invalidate bus command.
 func (c *Cache) ReadInvalidate(a word.Addr) word.Word {
 	area := c.countRef(a, OpRI)
+	return c.readInvalidate(a, area)
+}
+
+func (c *Cache) readInvalidate(a word.Addr, area mem.Area) word.Word {
 	if c.cfg.Protocol == ProtocolWriteThrough {
 		c.stats.RIDegraded++
 		return c.readInternal(a, OpRI)
@@ -519,13 +622,13 @@ func (c *Cache) ReadInvalidate(a word.Addr) word.Word {
 	if c.bus.RemoteHolder(c.pe, a) {
 		c.stats.RIApplied++
 		f := c.fetchInto(a, true)
-		return c.data[f*c.bw+int(a&c.offMask)]
+		return c.loadWord(f, a)
 	}
 	// Memory supplies with no sharers: the plain fetch already grants
 	// exclusivity (EC), so RI adds nothing.
 	c.stats.RIDegraded++
 	f := c.fetchInto(a, false)
-	return c.data[f*c.bw+int(a&c.offMask)]
+	return c.loadWord(f, a)
 }
 
 // LockRead implements LR per Section 3.1/3.3. On a hit to an exclusive
@@ -535,6 +638,10 @@ func (c *Cache) ReadInvalidate(a word.Addr) word.Word {
 // holds and retry after the machine unblocks this PE on the UL broadcast.
 func (c *Cache) LockRead(a word.Addr) (word.Word, bool) {
 	c.countRef(a, OpLR)
+	return c.lockRead(a)
+}
+
+func (c *Cache) lockRead(a word.Addr) (word.Word, bool) {
 	if c.dir.held(a) {
 		panic(fmt.Sprintf("cache: PE %d re-locking %#x", c.pe, a))
 	}
@@ -546,7 +653,7 @@ func (c *Cache) LockRead(a word.Addr) (word.Word, bool) {
 			// hold a lock on it: acquire with zero bus cycles.
 			c.stats.LRHitExclusive++
 			c.acquireLock(a)
-			return c.data[f*c.bw+int(a&c.offMask)], true
+			return c.loadWord(f, a), true
 		}
 		// Shared hit: LK + I to take ownership. The block upgrades to an
 		// exclusive state unless a remote lock on another of its words
@@ -572,7 +679,7 @@ func (c *Cache) LockRead(a word.Addr) (word.Word, bool) {
 			c.setState(f, EC, probe.ReasonLock)
 		}
 		c.acquireLock(a)
-		return c.data[f*c.bw+int(a&c.offMask)], true
+		return c.loadWord(f, a), true
 	}
 	c.miss(a, OpLR)
 	victim := c.victimFor(a)
@@ -598,7 +705,7 @@ func (c *Cache) LockRead(a word.Addr) (word.Word, bool) {
 	c.install(victim, c.blockBase(a), st, probe.ReasonLock)
 	c.touch(victim)
 	c.acquireLock(a)
-	return c.data[victim*c.bw+int(a&c.offMask)], true
+	return c.loadWord(victim, a), true
 }
 
 // acquireLock registers a lock on a and updates the bus lock filter.
@@ -636,6 +743,41 @@ func (c *Cache) UnlockWrite(a word.Addr, w word.Word) {
 func (c *Cache) Unlock(a word.Addr) {
 	c.countRef(a, OpU)
 	c.releaseLock(a)
+}
+
+// Apply performs op at a with the address's area class already computed
+// (callers must pass exactly what c's areaOf would return — the packed
+// pre-decoded replay computes it once per trace). It behaves identically
+// to the corresponding Accessor method with the written value 0 and the
+// read value discarded, which is precisely what trace replay does. ok is
+// false only when an LR blocked on a remote lock.
+func (c *Cache) Apply(op Op, a word.Addr, area mem.Area) (ok bool) {
+	c.countRefIn(a, area, op)
+	switch op {
+	case OpR:
+		c.readInternal(a, OpR)
+	case OpW:
+		c.writeInternal(a, 0, OpW)
+	case OpLR:
+		_, ok := c.lockRead(a)
+		return ok
+	case OpUW:
+		c.writeInternal(a, 0, OpUW)
+		c.releaseLock(a)
+	case OpU:
+		c.releaseLock(a)
+	case OpDW:
+		c.directWrite(a, 0, area)
+	case OpER:
+		c.exclusiveRead(a, area)
+	case OpRP:
+		c.readPurge(a, area)
+	case OpRI:
+		c.readInvalidate(a, area)
+	default:
+		panic(fmt.Sprintf("cache: Apply: unknown op %d", op))
+	}
+	return true
 }
 
 func (c *Cache) releaseLock(a word.Addr) {
@@ -751,7 +893,7 @@ func (c *Cache) ObserveUnlock(a word.Addr) {
 // verification; it costs no simulated cycles.
 func (c *Cache) Flush() {
 	for f := range c.states {
-		if c.states[f].Dirty() {
+		if c.states[f].Dirty() && !c.noData {
 			c.bus.Memory().WriteBlock(c.bases[f], c.frameData(f))
 		}
 		c.drop(f, probe.ReasonFlush)
@@ -768,9 +910,10 @@ func (c *Cache) StateOf(a word.Addr) State {
 }
 
 // PeekWord returns the cached copy of a, for tests; ok is false on miss.
+// Stats-only caches report zero for every resident word.
 func (c *Cache) PeekWord(a word.Addr) (word.Word, bool) {
 	if f := c.lookup(a); f >= 0 {
-		return c.data[f*c.bw+int(a&c.offMask)], true
+		return c.loadWord(f, a), true
 	}
 	return 0, false
 }

@@ -139,6 +139,17 @@ type Config struct {
 	// silently stale data. A debug knob that models nothing; the
 	// coherence checker and the poison-equivalence tests enable it.
 	PoisonBusData bool
+	// StatsOnly, when set, runs the cache (and, through machine.New,
+	// the bus and memory) without a data plane: no block data is stored,
+	// copied or zero-filled, and every value-returning operation yields
+	// zero. Coherence decisions in this simulator depend only on
+	// addresses, directory states and lock state — never on stored
+	// values (DESIGN.md §11) — so cache.Stats, bus.Stats and probe event
+	// streams are bit-identical to the data-carrying path. Trace replay
+	// writes zeros and discards reads anyway, which makes stats-only the
+	// natural replay mode; machines that must return real values (live
+	// FGHC runs) refuse to run with it set.
+	StatsOnly bool
 }
 
 // DefaultConfig is the paper's base cache: 4Kword data, 4-word blocks,

@@ -75,6 +75,13 @@ func (c *Cache) Restore(s *Snapshot) error {
 	}
 	copy(c.states, s.States)
 	copy(c.bases, s.Bases)
+	for f, st := range c.states {
+		if st == INV {
+			c.tags[f] = invalidTag
+		} else {
+			c.tags[f] = frameTag(c.bases[f], st)
+		}
+	}
 	copy(c.lru, s.LRU)
 	copy(c.data, s.Data)
 	c.lruClock = s.LRUClock

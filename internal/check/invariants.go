@@ -67,7 +67,10 @@ func (h *harness) checkBlock(base word.Addr, fail func(string) *Failure) *Failur
 	if dirty > 1 {
 		return fail(fmt.Sprintf("block %#x: %d dirty copies", base, dirty))
 	}
-	if dirty == 0 && holders > 0 {
+	// Value invariants are vacuous without a data plane (PeekWord reports
+	// zero everywhere and memory holds nothing to compare against); the
+	// state, presence-filter and lock invariants below still run.
+	if dirty == 0 && holders > 0 && !h.cfg.StatsOnly {
 		for i := range refData {
 			if mv := h.mem.Read(base + word.Addr(i)); mv != refData[i] {
 				return fail(fmt.Sprintf(

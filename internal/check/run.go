@@ -16,6 +16,12 @@ type RunConfig struct {
 	Protocol       cache.Protocol
 	Options        cache.Options
 	DisableFilters bool
+	// StatsOnly runs the configuration without a data plane. Value
+	// predictions (model reads, the flushed-memory image) cannot be
+	// checked — there are no values — but every state-derived check
+	// still runs, and RunAll requires the stats-only twin's statistics
+	// to match the data-carrying run bit for bit.
+	StatsOnly bool
 }
 
 // Configs is the differential matrix: every protocol with the optimized
@@ -69,13 +75,22 @@ type harness struct {
 }
 
 func newHarness(pes int, rc RunConfig) *harness {
-	m := mem.New(Layout())
-	seedMemory(m)
+	var m *mem.Memory
+	if rc.StatsOnly {
+		// No data plane: seeding (and any later value check) is
+		// impossible, which is fine — coherence decisions never read
+		// values, the property the stats-only twin exists to pin.
+		m = mem.NewStatsOnly(Layout())
+	} else {
+		m = mem.New(Layout())
+		seedMemory(m)
+	}
 	b := bus.New(bus.Config{
 		Timing:          bus.DefaultTiming(),
 		BlockWords:      BlockWords,
 		DisableFilters:  rc.DisableFilters,
-		PoisonFetchData: true,
+		PoisonFetchData: !rc.StatsOnly,
+		StatsOnly:       rc.StatsOnly,
 	}, m)
 	ccfg := cache.Config{
 		SizeWords:         CacheWords,
@@ -86,7 +101,8 @@ func newHarness(pes int, rc RunConfig) *harness {
 		Protocol:          rc.Protocol,
 		VerifyDW:          true,
 		DisableBusFilters: rc.DisableFilters,
-		PoisonBusData:     true,
+		PoisonBusData:     !rc.StatsOnly,
+		StatsOnly:         rc.StatsOnly,
 	}
 	if err := ccfg.Validate(); err != nil {
 		panic(err)
@@ -176,7 +192,7 @@ func (h *harness) exec(idx int, op Op) (advanced bool, f *Failure) {
 		case cache.OpRI:
 			got = c.ReadInvalidate(op.Addr)
 		}
-		if want := h.md.read(op.Addr); got != want {
+		if want := h.md.read(op.Addr); !h.cfg.StatsOnly && got != want {
 			return false, h.fail(idx, op, fmt.Sprintf("read %v, model says %v", got, want))
 		}
 	case cache.OpW:
@@ -198,7 +214,7 @@ func (h *harness) exec(idx int, op Op) (advanced bool, f *Failure) {
 			}
 			return false, nil // retry after the unlock broadcast
 		}
-		if want := h.md.read(op.Addr); got != want {
+		if want := h.md.read(op.Addr); !h.cfg.StatsOnly && got != want {
 			return false, h.fail(idx, op, fmt.Sprintf("locked read %v, model says %v", got, want))
 		}
 		if err := h.md.acquire(op.PE, op.Addr); err != nil {
@@ -242,12 +258,14 @@ func (h *harness) quiesce() *Failure {
 	for _, c := range h.caches {
 		c.Flush()
 	}
-	for _, base := range PoolBlocks() {
-		for i := 0; i < BlockWords; i++ {
-			a := base + word.Addr(i)
-			if got, want := h.mem.Read(a), h.md.read(a); got != want {
-				return h.failEnd(fmt.Sprintf(
-					"memory[%#x] = %v after flush, model says %v", a, got, want))
+	if !h.cfg.StatsOnly {
+		for _, base := range PoolBlocks() {
+			for i := 0; i < BlockWords; i++ {
+				a := base + word.Addr(i)
+				if got, want := h.mem.Read(a), h.md.read(a); got != want {
+					return h.failEnd(fmt.Sprintf(
+						"memory[%#x] = %v after flush, model says %v", a, got, want))
+				}
 			}
 		}
 	}
@@ -266,8 +284,9 @@ func (h *harness) failEnd(msg string) *Failure {
 }
 
 // RunAll runs s under the full configuration matrix, then re-runs the
-// copy-back/all configurations with the bus presence filters disabled
-// and requires bit-identical statistics. It returns the first failure.
+// copy-back/all configurations with the bus presence filters disabled,
+// and every configuration with the data plane removed (stats-only), each
+// time requiring bit-identical statistics. It returns the first failure.
 func RunAll(s *Seq) *Failure {
 	results := make(map[string]Result)
 	for _, rc := range Configs() {
@@ -291,6 +310,24 @@ func RunAll(s *Seq) *Failure {
 		if res != results[rc.Label] {
 			return &Failure{Config: un.Label, OpIndex: -1, Msg: fmt.Sprintf(
 				"filtered and unfiltered runs diverge:\nfiltered:   %+v\nunfiltered: %+v",
+				results[rc.Label], res)}
+		}
+	}
+	// Stats-only twins: coherence decisions must never depend on data
+	// values, so removing the data plane entirely must leave every
+	// statistic untouched. This is the equivalence DESIGN.md §11 argues
+	// and the replay engine's fast path relies on.
+	for _, rc := range Configs() {
+		so := rc
+		so.Label = rc.Label + "/statsonly"
+		so.StatsOnly = true
+		res, f := RunSeq(s, so)
+		if f != nil {
+			return f
+		}
+		if res != results[rc.Label] {
+			return &Failure{Config: so.Label, OpIndex: -1, Msg: fmt.Sprintf(
+				"data-carrying and stats-only runs diverge:\ndata:       %+v\nstats-only: %+v",
 				results[rc.Label], res)}
 		}
 	}

@@ -95,12 +95,21 @@ func New(cfg Config) *Machine {
 	if cfg.PEs < 1 {
 		panic("machine: need at least one PE")
 	}
-	m := mem.New(cfg.Layout)
+	var m *mem.Memory
+	if cfg.Cache.StatsOnly {
+		// Stats-only replay: no data plane anywhere. The memory keeps its
+		// layout and Size (the bus presence table is sized from it) but
+		// stores nothing.
+		m = mem.NewStatsOnly(cfg.Layout)
+	} else {
+		m = mem.New(cfg.Layout)
+	}
 	b := bus.New(bus.Config{
 		Timing:          cfg.Timing,
 		BlockWords:      cfg.Cache.BlockWords,
 		DisableFilters:  cfg.Cache.DisableBusFilters,
 		PoisonFetchData: cfg.Cache.PoisonBusData,
+		StatsOnly:       cfg.Cache.StatsOnly,
 	}, m)
 	caches := make([]*cache.Cache, cfg.PEs)
 	for i := range caches {
@@ -175,6 +184,13 @@ type RunResult struct {
 // the KL1 runtime's address-ordered locking is supposed to prevent, so
 // Run panics.
 func (m *Machine) Run(maxSteps uint64) RunResult {
+	if m.cfg.Cache.StatsOnly {
+		// Live processors read values back (unification, dereferencing);
+		// a stats-only machine would silently feed them zeros. Refuse
+		// loudly — stats-only machines exist for trace replay, which
+		// drives the cache ports directly and never calls Run.
+		panic("machine: Run on a stats-only machine: live execution consumes data values; use a data-carrying config (stats-only supports trace replay only)")
+	}
 	for i, p := range m.procs {
 		if p == nil {
 			panic(fmt.Sprintf("machine: PE %d has no processor", i))

@@ -119,6 +119,7 @@ func (b Bounds) AreaOf(a word.Addr) Area {
 // all accesses, mirroring the single shared bus.
 type Memory struct {
 	words  []word.Word
+	size   int
 	bounds Bounds
 }
 
@@ -126,9 +127,24 @@ type Memory struct {
 func New(l Layout) *Memory {
 	return &Memory{
 		words:  make([]word.Word, l.TotalWords()),
+		size:   l.TotalWords(),
 		bounds: l.Bounds(),
 	}
 }
+
+// NewStatsOnly builds a memory with no word store for stats-only trace
+// replay: the layout, bounds and Size are those of a real memory (the bus
+// sizes its presence table from Size), but no data is ever stored. Every
+// data access panics — coherence decisions never depend on values, so in
+// a correctly gated stats-only machine none of these methods is reached;
+// a panic here means a data-plane gate is missing, not that the caller
+// should tolerate zeros.
+func NewStatsOnly(l Layout) *Memory {
+	return &Memory{size: l.TotalWords(), bounds: l.Bounds()}
+}
+
+// StatsOnly reports whether this memory carries no word store.
+func (m *Memory) StatsOnly() bool { return m.words == nil && m.size > 0 }
 
 // Bounds returns the area map.
 func (m *Memory) Bounds() Bounds { return m.bounds }
@@ -137,23 +153,37 @@ func (m *Memory) Bounds() Bounds { return m.bounds }
 func (m *Memory) AreaOf(a word.Addr) Area { return m.bounds.AreaOf(a) }
 
 // Size reports the total number of words.
-func (m *Memory) Size() int { return len(m.words) }
+func (m *Memory) Size() int { return m.size }
+
+func (m *Memory) checkData() {
+	if m.words == nil && m.size > 0 {
+		panic("mem: data access on a stats-only memory (missing data-plane gate)")
+	}
+}
 
 // Read returns the word at a. It panics on out-of-range addresses: the
 // simulated machine's address arithmetic is supposed to be correct, so a
 // wild address is a simulator bug.
-func (m *Memory) Read(a word.Addr) word.Word { return m.words[a] }
+func (m *Memory) Read(a word.Addr) word.Word {
+	m.checkData()
+	return m.words[a]
+}
 
 // Write stores w at a.
-func (m *Memory) Write(a word.Addr, w word.Word) { m.words[a] = w }
+func (m *Memory) Write(a word.Addr, w word.Word) {
+	m.checkData()
+	m.words[a] = w
+}
 
 // ReadBlock copies the block of n words starting at base into dst.
 func (m *Memory) ReadBlock(base word.Addr, dst []word.Word) {
+	m.checkData()
 	copy(dst, m.words[base:int(base)+len(dst)])
 }
 
 // WriteBlock stores src at base.
 func (m *Memory) WriteBlock(base word.Addr, src []word.Word) {
+	m.checkData()
 	copy(m.words[base:int(base)+len(src)], src)
 }
 

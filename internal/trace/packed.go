@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"fmt"
+
+	"pimcache/internal/cache"
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/mem"
+)
+
+// Packed is a pre-decoded reference stream: one uint64 per reference
+// holding the address (bits 0-31), PE (32-39), op (40-47) and the
+// address's area class (48-55). The area classification depends only on
+// the trace's layout, so it is computed once here and reused by every
+// replay of every sweep configuration — the replay loop walks a flat
+// word stream and never runs the per-reference AreaOf branch chain
+// (cache.Apply consumes the precomputed class directly).
+type Packed struct {
+	PEs    int
+	Layout mem.Layout
+	refs   []uint64
+}
+
+const (
+	packedPEShift   = 32
+	packedOpShift   = 40
+	packedAreaShift = 48
+)
+
+// Pack pre-decodes t. It validates each reference's PE and op — the
+// packed replay loop indexes caches and dispatches ops without
+// rechecking them.
+func Pack(t *Trace) (*Packed, error) {
+	bounds := t.Layout.Bounds()
+	p := &Packed{PEs: t.PEs, Layout: t.Layout, refs: make([]uint64, len(t.Refs))}
+	for i := range t.Refs {
+		r := &t.Refs[i]
+		if int(r.PE) >= t.PEs {
+			return nil, fmt.Errorf("trace: ref %d: PE %d out of range (trace has %d PEs)", i, r.PE, t.PEs)
+		}
+		if r.Op >= cache.NumOps {
+			return nil, fmt.Errorf("trace: ref %d: unknown op %d", i, r.Op)
+		}
+		p.refs[i] = uint64(uint32(r.Addr)) |
+			uint64(r.PE)<<packedPEShift |
+			uint64(r.Op)<<packedOpShift |
+			uint64(bounds.AreaOf(r.Addr))<<packedAreaShift
+	}
+	return p, nil
+}
+
+// Len reports the number of references.
+func (p *Packed) Len() int { return len(p.refs) }
+
+// Replay drives the packed stream through the caches (one per PE), as
+// trace.Replay does for []Ref but with the area class pre-resolved.
+func (p *Packed) Replay(caches []*cache.Cache) error {
+	return p.ReplayRange(caches, 0, len(p.refs))
+}
+
+// ReplayRange replays the half-open packed range [lo, hi).
+func (p *Packed) ReplayRange(caches []*cache.Cache, lo, hi int) error {
+	if len(caches) < p.PEs {
+		return fmt.Errorf("trace: need %d ports, have %d", p.PEs, len(caches))
+	}
+	if lo < 0 || hi > len(p.refs) || lo > hi {
+		return fmt.Errorf("trace: range [%d, %d) outside trace of %d refs", lo, hi, len(p.refs))
+	}
+	for i, pk := range p.refs[lo:hi] {
+		a := word.Addr(uint32(pk))
+		op := cache.Op(uint8(pk >> packedOpShift))
+		area := mem.Area(uint8(pk >> packedAreaShift))
+		if !caches[uint8(pk>>packedPEShift)].Apply(op, a, area) {
+			return fmt.Errorf("trace: ref %d: LR %#x blocked during replay", lo+i, a)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/mem"
+)
+
+// Reader streams a serialized trace without materializing the whole
+// reference slice, so multi-gigabyte streams replay in constant memory.
+// It validates everything it decodes: the header's PE count and layout,
+// and every reference's PE and op byte — a corrupt stream yields a clean
+// error, never an out-of-range index inside the replay loop.
+type Reader struct {
+	r      io.Reader
+	pes    int
+	layout mem.Layout
+	n      uint64 // declared ref count
+	read   uint64 // refs decoded so far
+	buf    []byte
+}
+
+// NewReader reads and validates the stream header, leaving r positioned
+// at the first reference.
+func NewReader(r io.Reader) (*Reader, error) {
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, got); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", got)
+	}
+	hdr := make([]byte, 32)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	pes := int(binary.LittleEndian.Uint32(hdr[0:]))
+	if pes < 1 || pes > bus.MaxPEs {
+		return nil, fmt.Errorf("trace: header PE count %d outside [1, %d]", pes, bus.MaxPEs)
+	}
+	var total uint64
+	for off := 4; off <= 20; off += 4 {
+		total += uint64(binary.LittleEndian.Uint32(hdr[off:]))
+	}
+	if total > 1<<32 {
+		// Addresses are 32 bits on disk; a layout wider than the address
+		// space is corrupt (and would demand an absurd memory allocation
+		// at replay time).
+		return nil, fmt.Errorf("trace: header layout spans %d words, exceeding the 32-bit address space", total)
+	}
+	return &Reader{
+		r:   r,
+		pes: pes,
+		layout: mem.Layout{
+			InstWords: int(binary.LittleEndian.Uint32(hdr[4:])),
+			HeapWords: int(binary.LittleEndian.Uint32(hdr[8:])),
+			GoalWords: int(binary.LittleEndian.Uint32(hdr[12:])),
+			SuspWords: int(binary.LittleEndian.Uint32(hdr[16:])),
+			CommWords: int(binary.LittleEndian.Uint32(hdr[20:])),
+		},
+		n:   binary.LittleEndian.Uint64(hdr[24:]),
+		buf: make([]byte, refBytes*refsPerChunk),
+	}, nil
+}
+
+// PEs reports the header's PE count.
+func (d *Reader) PEs() int { return d.pes }
+
+// Layout reports the header's memory layout.
+func (d *Reader) Layout() mem.Layout { return d.layout }
+
+// Len reports the header's declared reference count. It is validated
+// incrementally: a stream shorter than declared fails Next with a
+// truncation error, so Len is trustworthy only once Next returned io.EOF.
+func (d *Reader) Len() uint64 { return d.n }
+
+// Next decodes up to len(dst) references (at most one chunk per call)
+// into dst and returns how many were decoded. It returns io.EOF —
+// possibly alongside the final references — once all declared references
+// have been delivered.
+func (d *Reader) Next(dst []Ref) (int, error) {
+	remaining := d.n - d.read
+	if remaining == 0 {
+		return 0, io.EOF
+	}
+	n := len(dst)
+	if uint64(n) > remaining {
+		n = int(remaining)
+	}
+	if n > refsPerChunk {
+		n = refsPerChunk
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	chunk := d.buf[:n*refBytes]
+	if _, err := io.ReadFull(d.r, chunk); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, fmt.Errorf("trace: stream truncated at ref %d of %d", d.read, d.n)
+		}
+		return 0, err
+	}
+	for j := 0; j < n; j++ {
+		b := chunk[j*refBytes : j*refBytes+refBytes]
+		if int(b[0]) >= d.pes {
+			return 0, fmt.Errorf("trace: ref %d: PE %d out of range (trace has %d PEs)", d.read+uint64(j), b[0], d.pes)
+		}
+		if cache.Op(b[1]) >= cache.NumOps {
+			return 0, fmt.Errorf("trace: ref %d: unknown op %d", d.read+uint64(j), b[1])
+		}
+		dst[j] = Ref{
+			PE:   b[0],
+			Op:   cache.Op(b[1]),
+			Addr: word.Addr(binary.LittleEndian.Uint32(b[2:6])),
+		}
+	}
+	d.read += uint64(n)
+	if d.read == d.n {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// ReplayStream replays every remaining reference of d through ports in
+// chunks, never materializing the full stream. It returns the number of
+// references replayed. Ports must match the stream's PE count, as in
+// Replay; the layout the ports were built with must equal d.Layout().
+func ReplayStream(d *Reader, ports []mem.Accessor) (int, error) {
+	if len(ports) < d.pes {
+		return 0, fmt.Errorf("trace: need %d ports, have %d", d.pes, len(ports))
+	}
+	caches, fast := cachePorts(d.pes, ports)
+	buf := make([]Ref, refsPerChunk)
+	total := 0
+	for {
+		n, err := d.Next(buf)
+		if n > 0 {
+			var rerr error
+			if fast {
+				rerr = replayRefs(buf[:n], caches, total)
+			} else {
+				rerr = replayGenericRefs(buf[:n], ports, total)
+			}
+			if rerr != nil {
+				return total, rerr
+			}
+			total += n
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+
+	"pimcache/internal/cache"
+	"pimcache/internal/kl1/word"
+	"pimcache/internal/machine"
+	"pimcache/internal/mem"
+)
+
+// encodeTrace serializes tr and returns the raw bytes for mutation.
+func encodeTrace(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// readErr runs both decoders (materializing Read and streaming Reader)
+// over raw and requires each to fail with a message containing want.
+func readErr(t *testing.T, label string, raw []byte, want string) {
+	t.Helper()
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Errorf("%s: Read accepted corrupt stream", label)
+	} else if !strings.Contains(err.Error(), want) {
+		t.Errorf("%s: Read error %q does not mention %q", label, err, want)
+	}
+	d, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("%s: NewReader error %q does not mention %q", label, err, want)
+		}
+		return
+	}
+	buf := make([]Ref, 4096)
+	for {
+		_, err := d.Next(buf)
+		if err == io.EOF {
+			t.Errorf("%s: Reader accepted corrupt stream", label)
+			return
+		}
+		if err != nil {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: Next error %q does not mention %q", label, err, want)
+			}
+			return
+		}
+	}
+}
+
+// smallTrace is a valid 4-PE stream for corruption tests.
+func smallTrace() *Trace {
+	tr := &Trace{PEs: 4, Layout: mem.Layout{InstWords: 16, HeapWords: 64, GoalWords: 16, SuspWords: 8, CommWords: 8}}
+	for i := 0; i < 100; i++ {
+		tr.Refs = append(tr.Refs, Ref{
+			PE:   uint8(i % 4),
+			Op:   cache.Op(i % int(cache.NumOps)),
+			Addr: word.Addr(i * 3),
+		})
+	}
+	return tr
+}
+
+// TestReaderRejectsCorruptHeader covers the header validations: a PE
+// count of zero or above the bus limit, and a layout wider than the
+// 32-bit address space.
+func TestReaderRejectsCorruptHeader(t *testing.T) {
+	base := encodeTrace(t, smallTrace())
+	hdr := len(magic)
+
+	zeroPE := append([]byte(nil), base...)
+	binary.LittleEndian.PutUint32(zeroPE[hdr:], 0)
+	readErr(t, "pe=0", zeroPE, "PE count")
+
+	bigPE := append([]byte(nil), base...)
+	binary.LittleEndian.PutUint32(bigPE[hdr:], 200)
+	readErr(t, "pe=200", bigPE, "PE count")
+
+	hugeLayout := append([]byte(nil), base...)
+	for off := 4; off <= 20; off += 4 {
+		binary.LittleEndian.PutUint32(hugeLayout[hdr+off:], 0xFFFFFFFF)
+	}
+	readErr(t, "huge layout", hugeLayout, "address space")
+}
+
+// TestReaderRejectsCorruptRefs covers the per-reference validations: a
+// PE byte at or above the header's count, and an unknown op byte.
+func TestReaderRejectsCorruptRefs(t *testing.T) {
+	base := encodeTrace(t, smallTrace())
+	ref0 := len(magic) + 32 // first reference: [PE, op, addr x4]
+
+	badPE := append([]byte(nil), base...)
+	badPE[ref0] = 9 // header says 4 PEs
+	readErr(t, "bad ref PE", badPE, "out of range")
+
+	badOp := append([]byte(nil), base...)
+	badOp[ref0+1] = 0xEE
+	readErr(t, "bad ref op", badOp, "unknown op")
+}
+
+// TestReadHugeDeclaredCount pins the preallocation guard: a header
+// declaring 2^40 references over an empty body must fail with a
+// truncation error without first attempting a multi-terabyte
+// allocation.
+func TestReadHugeDeclaredCount(t *testing.T) {
+	base := encodeTrace(t, smallTrace())
+	raw := append([]byte(nil), base...)
+	binary.LittleEndian.PutUint64(raw[len(magic)+24:], 1<<40)
+	readErr(t, "huge count", raw, "truncated")
+}
+
+// TestReaderTruncatedMidStream checks the streaming decoder reports the
+// cut position instead of returning a short stream.
+func TestReaderTruncatedMidStream(t *testing.T) {
+	raw := encodeTrace(t, smallTrace())
+	readErr(t, "truncated", raw[:len(raw)-5], "truncated")
+}
+
+// TestReaderHeader checks the streaming decoder surfaces the header
+// verbatim.
+func TestReaderHeader(t *testing.T) {
+	tr := smallTrace()
+	d, err := NewReader(bytes.NewReader(encodeTrace(t, tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PEs() != tr.PEs || d.Layout() != tr.Layout || d.Len() != uint64(tr.Len()) {
+		t.Errorf("header mismatch: %d PEs, %+v, %d refs", d.PEs(), d.Layout(), d.Len())
+	}
+}
+
+// TestReplayStreamMatchesReplay pins the chunked streaming replay
+// against the materialized replay on a real recorded workload.
+func TestReplayStreamMatchesReplay(t *testing.T) {
+	_, tr := traceCluster(t, testProgram, 2, cache.OptionsAll())
+	raw := encodeTrace(t, tr)
+
+	newMachine := func() (*machine.Machine, []mem.Accessor) {
+		mcfg := machine.Config{
+			PEs: tr.PEs, Layout: tr.Layout,
+			Cache: cache.Config{SizeWords: 1 << 10, BlockWords: 4, Ways: 4,
+				LockEntries: 4, Options: cache.OptionsAll(), VerifyDW: true},
+		}
+		mcfg.Timing.MemCycles = 8
+		mcfg.Timing.WidthWords = 1
+		m := machine.New(mcfg)
+		ports := make([]mem.Accessor, tr.PEs)
+		for i := range ports {
+			ports[i] = m.Port(i)
+		}
+		return m, ports
+	}
+
+	m1, ports1 := newMachine()
+	if err := Replay(tr, ports1); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, ports2 := newMachine()
+	n, err := ReplayStream(d, ports2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != tr.Len() {
+		t.Errorf("streamed %d refs, trace has %d", n, tr.Len())
+	}
+	if b1, b2 := m1.BusStats(), m2.BusStats(); b1 != b2 {
+		t.Errorf("bus stats diverge\nmaterialized: %+v\nstreamed:     %+v", b1, b2)
+	}
+	if c1, c2 := m1.CacheStats(), m2.CacheStats(); c1 != c2 {
+		t.Errorf("cache stats diverge\nmaterialized: %+v\nstreamed:     %+v", c1, c2)
+	}
+}
+
+// TestPackValidation pins Pack's pre-replay validation: out-of-range PEs
+// and unknown ops must be rejected, since the packed replay loop indexes
+// and dispatches without rechecking.
+func TestPackValidation(t *testing.T) {
+	tr := smallTrace()
+	if _, err := Pack(tr); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	badPE := smallTrace()
+	badPE.Refs[7].PE = 4
+	if _, err := Pack(badPE); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("bad PE accepted: %v", err)
+	}
+	badOp := smallTrace()
+	badOp.Refs[3].Op = cache.NumOps
+	if _, err := Pack(badOp); err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Errorf("bad op accepted: %v", err)
+	}
+}

@@ -163,15 +163,29 @@ func ReplayRange(t *Trace, ports []mem.Accessor, lo, hi int) error {
 	if lo < 0 || hi > len(t.Refs) || lo > hi {
 		return fmt.Errorf("trace: range [%d, %d) outside trace of %d refs", lo, hi, len(t.Refs))
 	}
-	caches := make([]*cache.Cache, t.PEs)
-	for i := 0; i < t.PEs; i++ {
+	if caches, ok := cachePorts(t.PEs, ports); ok {
+		return replayRefs(t.Refs[lo:hi], caches, lo)
+	}
+	return replayGenericRefs(t.Refs[lo:hi], ports, lo)
+}
+
+// cachePorts devirtualizes the port slice when every port is a concrete
+// *cache.Cache (the case for all machine-backed replays).
+func cachePorts(pes int, ports []mem.Accessor) ([]*cache.Cache, bool) {
+	caches := make([]*cache.Cache, pes)
+	for i := 0; i < pes; i++ {
 		c, ok := ports[i].(*cache.Cache)
 		if !ok {
-			return replayGeneric(t, ports, lo, hi)
+			return nil, false
 		}
 		caches[i] = c
 	}
-	refs := t.Refs[lo:hi]
+	return caches, true
+}
+
+// replayRefs is the devirtualized fast path. base is the absolute trace
+// position of refs[0], used only in error messages.
+func replayRefs(refs []Ref, caches []*cache.Cache, base int) error {
 	for i := range refs {
 		ref := &refs[i]
 		port := caches[ref.PE]
@@ -182,7 +196,7 @@ func ReplayRange(t *Trace, ports []mem.Accessor, lo, hi int) error {
 			port.Write(ref.Addr, 0)
 		case cache.OpLR:
 			if _, ok := port.LockRead(ref.Addr); !ok {
-				return fmt.Errorf("trace: ref %d: LR %#x blocked during replay", lo+i, ref.Addr)
+				return fmt.Errorf("trace: ref %d: LR %#x blocked during replay", base+i, ref.Addr)
 			}
 		case cache.OpUW:
 			port.UnlockWrite(ref.Addr, 0)
@@ -197,16 +211,18 @@ func ReplayRange(t *Trace, ports []mem.Accessor, lo, hi int) error {
 		case cache.OpRI:
 			port.ReadInvalidate(ref.Addr)
 		default:
-			return fmt.Errorf("trace: ref %d: unknown op %d", lo+i, ref.Op)
+			return fmt.Errorf("trace: ref %d: unknown op %d", base+i, ref.Op)
 		}
 	}
 	return nil
 }
 
-// replayGeneric is the interface-dispatch path for non-cache accessors
-// (e.g. mem.DirectAccessor in tests).
-func replayGeneric(t *Trace, ports []mem.Accessor, lo, hi int) error {
-	for i, ref := range t.Refs[lo:hi] {
+// replayGenericRefs is the interface-dispatch path for non-cache
+// accessors (e.g. mem.DirectAccessor in tests). It must stay
+// behaviourally identical to replayRefs — the parity test in
+// replay_parity_test.go pins the two switch bodies together.
+func replayGenericRefs(refs []Ref, ports []mem.Accessor, base int) error {
+	for i, ref := range refs {
 		port := ports[ref.PE]
 		switch ref.Op {
 		case cache.OpR:
@@ -215,7 +231,7 @@ func replayGeneric(t *Trace, ports []mem.Accessor, lo, hi int) error {
 			port.Write(ref.Addr, 0)
 		case cache.OpLR:
 			if _, ok := port.LockRead(ref.Addr); !ok {
-				return fmt.Errorf("trace: ref %d: LR %#x blocked during replay", lo+i, ref.Addr)
+				return fmt.Errorf("trace: ref %d: LR %#x blocked during replay", base+i, ref.Addr)
 			}
 		case cache.OpUW:
 			port.UnlockWrite(ref.Addr, 0)
@@ -230,7 +246,7 @@ func replayGeneric(t *Trace, ports []mem.Accessor, lo, hi int) error {
 		case cache.OpRI:
 			port.ReadInvalidate(ref.Addr)
 		default:
-			return fmt.Errorf("trace: ref %d: unknown op %d", lo+i, ref.Op)
+			return fmt.Errorf("trace: ref %d: unknown op %d", base+i, ref.Op)
 		}
 	}
 	return nil
@@ -290,52 +306,36 @@ func (t *Trace) Write(w io.Writer) error {
 	return nil
 }
 
-// Read deserializes a trace written by Write.
+// maxPrealloc caps the []Ref capacity Read allocates up front from the
+// header's declared ref count. The count is untrusted input: a corrupt
+// header must not be able to demand an arbitrary allocation. Beyond the
+// cap the slice grows only as fast as actual stream data arrives, so a
+// short corrupt stream fails with a clean truncation error instead of an
+// out-of-memory abort.
+const maxPrealloc = 1 << 20
+
+// Read deserializes a trace written by Write, validating the header and
+// every reference (see NewReader). For streams too large to materialize,
+// use NewReader with Next or ReplayStream instead.
 func Read(r io.Reader) (*Trace, error) {
-	got := make([]byte, len(magic))
-	if _, err := io.ReadFull(r, got); err != nil {
+	d, err := NewReader(r)
+	if err != nil {
 		return nil, err
 	}
-	if string(got) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", got)
+	capHint := d.Len()
+	if capHint > maxPrealloc {
+		capHint = maxPrealloc
 	}
-	hdr := make([]byte, 32)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, err
-	}
-	t := &Trace{
-		PEs: int(binary.LittleEndian.Uint32(hdr[0:])),
-		Layout: mem.Layout{
-			InstWords: int(binary.LittleEndian.Uint32(hdr[4:])),
-			HeapWords: int(binary.LittleEndian.Uint32(hdr[8:])),
-			GoalWords: int(binary.LittleEndian.Uint32(hdr[12:])),
-			SuspWords: int(binary.LittleEndian.Uint32(hdr[16:])),
-			CommWords: int(binary.LittleEndian.Uint32(hdr[20:])),
-		},
-		Refs: make([]Ref, binary.LittleEndian.Uint64(hdr[24:])),
-	}
-	// Decode in chunks: one ReadFull per refsPerChunk references instead
-	// of one 6-byte read per reference, which dominates load time for the
-	// multi-hundred-megabyte streams the harness replays.
-	buf := make([]byte, refBytes*refsPerChunk)
-	for i := 0; i < len(t.Refs); {
-		n := len(t.Refs) - i
-		if n > refsPerChunk {
-			n = refsPerChunk
+	t := &Trace{PEs: d.PEs(), Layout: d.Layout(), Refs: make([]Ref, 0, capHint)}
+	buf := make([]Ref, refsPerChunk)
+	for {
+		n, err := d.Next(buf)
+		t.Refs = append(t.Refs, buf[:n]...)
+		if err == io.EOF {
+			return t, nil
 		}
-		chunk := buf[:n*refBytes]
-		if _, err := io.ReadFull(r, chunk); err != nil {
+		if err != nil {
 			return nil, err
 		}
-		for j := 0; j < n; j++ {
-			b := chunk[j*refBytes : j*refBytes+refBytes]
-			t.Refs[i+j] = Ref{
-				PE:   b[0],
-				Op:   cache.Op(b[1]),
-				Addr: word.Addr(binary.LittleEndian.Uint32(b[2:6])),
-			}
-		}
-		i += n
 	}
-	return t, nil
 }
