@@ -23,29 +23,33 @@ import (
 	"strings"
 
 	"pimcache/internal/bench"
+	"pimcache/internal/bus"
+	"pimcache/internal/cache"
 	"pimcache/internal/cliutil"
+	"pimcache/internal/obs"
 )
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "use reduced benchmark scales")
-		table   = flag.Int("table", 0, "regenerate only table N (1-5)")
-		figure  = flag.Int("figure", 0, "regenerate only figure N (1-3)")
-		extra   = flag.String("extra", "", "in-text experiment: buswidth, assoc, optdetail, protocols, illinois")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (Tri,Semi,Puzzle,Pascal)")
-		verbose = flag.Bool("v", false, "print progress")
-		jobs    = flag.Int("jobs", 0, "concurrent simulations (0 = all CPU cores, 1 = serial)")
-		warm    = flag.Bool("warm", false, "share warmed checkpoints among replays with identical configs")
-		sOnly   = flag.Bool("statsonly", false, "run replays without a data plane (identical tables, less memory and time)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file")
+		quick    = flag.Bool("quick", false, "use reduced benchmark scales")
+		table    = flag.Int("table", 0, "regenerate only table N (1-5)")
+		figure   = flag.Int("figure", 0, "regenerate only figure N (1-3)")
+		extra    = flag.String("extra", "", "in-text experiment: buswidth, assoc, optdetail, protocols, illinois")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset (Tri,Semi,Puzzle,Pascal)")
+		verbose  = flag.Bool("v", false, "print progress")
+		jobs     = flag.Int("jobs", 0, "concurrent simulations (0 = all CPU cores, 1 = serial)")
+		warm     = flag.Bool("warm", false, "share warmed checkpoints among replays with identical configs")
+		sOnly    = flag.Bool("statsonly", false, "run replays without a data plane (identical tables, less memory and time)")
+		manifest = flag.String("manifest", "", "write a structured run manifest (JSON) to this file")
+		scenario = flag.String("scenario", "", "scenario label recorded in the manifest (pimreport baseline key)")
 	)
+	prof := cliutil.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 	if err := cliutil.ValidateJobs(*jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "pimbench:", err)
 		os.Exit(2)
 	}
-	stopProfiles, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	stopProfiles, err := cliutil.StartProfiles(*prof)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimbench:", err)
 		os.Exit(2)
@@ -56,11 +60,18 @@ func main() {
 		}
 	}()
 
+	man := obs.NewManifest("pimbench")
+	man.Scenario = *scenario
+	ph := obs.NewPhases()
+	reg := obs.NewRegistry()
+
 	o := bench.DefaultOptions()
 	o.Quick = *quick
 	o.Jobs = *jobs
 	o.WarmedSweeps = *warm
 	o.StatsOnly = *sOnly
+	o.Phases = ph
+	o.Metrics = reg
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -113,4 +124,47 @@ func main() {
 	show(wantAll || *extra == "optdetail", bench.ExtraOptDetail(d))
 	show(wantAll || *extra == "protocols", bench.ExtraProtocols(d))
 	show(wantAll || *extra == "illinois", bench.ExtraIllinois(d))
+
+	if *manifest != "" {
+		writeManifest(man, *manifest, d, o, ph, reg, prof.Paths())
+	}
+}
+
+// writeManifest records the evaluation run: configuration, per-
+// benchmark deterministic statistics (every Table-4 variant), and the
+// timing block. Replayed references across all jobs drive the
+// throughput figure.
+func writeManifest(man *obs.Manifest, path string, d *bench.Data, o bench.Options, ph *obs.Phases, reg *obs.Registry, profiles map[string]string) {
+	ccfg := bench.BaseCache(cache.OptionsAll())
+	ccfg.StatsOnly = o.StatsOnly
+	ccfg.DisableBusFilters = o.DisableBusFilters
+	man.Config = obs.NewRunConfig(o.PEs, ccfg, bus.DefaultTiming(), "all", "bench", 0)
+	var totalRefs uint64
+	for _, bd := range d.Benches {
+		sec := obs.BenchSection{
+			Name:  bd.Name,
+			Scale: bd.Scale,
+			PEs:   o.PEs,
+			Refs:  bd.Refs.TotalRefs(),
+		}
+		for _, v := range bench.OptVariants {
+			sec.Variants = append(sec.Variants, obs.VariantStats{
+				Variant: v.Name,
+				Cache:   bd.OptCache[v.Name],
+				Bus:     bd.OptBus[v.Name],
+			})
+		}
+		man.Benches = append(man.Benches, sec)
+		totalRefs += sec.Refs
+	}
+	replayed := reg.Counter("bench.replay.refs").Value()
+	man.Timing.Profiles = profiles
+	man.FinishTiming(ph, reg, replayed, ph.Elapsed().Seconds())
+	if totalRefs == 0 {
+		man.Timing.MrefsPerSec = 0
+	}
+	if err := man.WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
 }

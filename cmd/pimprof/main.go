@@ -18,13 +18,18 @@
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"pimcache/internal/bench"
 	"pimcache/internal/bus"
+	"pimcache/internal/cache"
 	"pimcache/internal/cliutil"
+	"pimcache/internal/obs"
 	"pimcache/internal/probe"
 	"pimcache/internal/trace"
 )
@@ -42,9 +47,11 @@ func main() {
 		csvOut    = flag.String("csv", "", "write the interval metrics as CSV to this file (needs -intervals)")
 		hotspots  = flag.Int("hotspots", 0, "print the top-K most contended blocks")
 		statsOnly = flag.Bool("statsonly", false, "replay without a data plane (identical statistics and events, less memory and time)")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
+		manifest  = flag.String("manifest", "", "write a structured run manifest (JSON) to this file")
+		scenario  = flag.String("scenario", "", "scenario label recorded in the manifest (pimreport baseline key)")
+		heartbeat = flag.Duration("heartbeat", 0, "report replay progress on stderr at this interval (0 disables)")
 	)
+	prof := cliutil.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	if err := cliutil.ValidateBlock(*block); err != nil {
@@ -65,10 +72,15 @@ func main() {
 		fatal2(err)
 	}
 	ccfg.StatsOnly = *statsOnly
-	stopProfiles, err = cliutil.StartProfiles(*cpuProf, *memProf)
+	stopProfiles, err = cliutil.StartProfiles(*prof)
 	if err != nil {
 		fatal2(err)
 	}
+	man := obs.NewManifest("pimprof")
+	man.Scenario = *scenario
+	ph := obs.NewPhases()
+	reg := obs.NewRegistry()
+	wantManifest := *manifest != ""
 
 	// The trace streams through the validating decoder during the replay
 	// itself — the reference slice is never materialized, so multi-
@@ -78,7 +90,13 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	d, err := trace.NewReader(f)
+	cr := &obs.CountingReader{R: f}
+	digest := sha256.New()
+	var src io.Reader = cr
+	if wantManifest {
+		src = io.TeeReader(cr, digest)
+	}
+	d, err := trace.NewReader(src)
 	if err != nil {
 		fatal(err)
 	}
@@ -107,7 +125,22 @@ func main() {
 	}
 
 	timing := bus.Timing{MemCycles: 8, WidthWords: *width}
-	bs, cs, refs, err := bench.ReplayReader(d, ccfg, timing, probe.Multi(sinks...))
+	hb := obs.NewHeartbeat(os.Stderr, "replay", *heartbeat, d.Len()).Start()
+	d.SetProgress(func(n int) {
+		hb.Add(uint64(n))
+		hb.SetBytes(cr.Bytes())
+	})
+	t0 := time.Now()
+	var bs bus.Stats
+	var cs cache.Stats
+	var refs int
+	err = ph.Time("replay/probed", func() error {
+		var err error
+		bs, cs, refs, err = bench.ReplayReader(d, ccfg, timing, probe.Multi(sinks...))
+		return err
+	})
+	workSeconds := time.Since(t0).Seconds()
+	hb.Stop()
 	if err != nil {
 		fatal(err)
 	}
@@ -147,6 +180,22 @@ func main() {
 	}
 	if err := stopProfiles(); err != nil {
 		fatal(err)
+	}
+	if wantManifest {
+		man.Config = obs.NewRunConfig(d.PEs(), ccfg, timing, *optsName, "probed", 0)
+		man.Trace = &obs.TraceInfo{
+			SHA256:      obs.HexDigest(digest.Sum(nil)),
+			Refs:        uint64(refs),
+			PEs:         d.PEs(),
+			LayoutWords: uint64(d.Layout().TotalWords()),
+		}
+		man.Stats = obs.NewRunStats(uint64(refs), cs, bs)
+		man.Timing.TraceFile = flag.Arg(0)
+		man.Timing.Profiles = prof.Paths()
+		man.FinishTiming(ph, reg, uint64(refs), workSeconds)
+		if err := man.WriteFile(*manifest); err != nil {
+			fatal(err)
+		}
 	}
 }
 

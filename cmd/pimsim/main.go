@@ -25,6 +25,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +38,7 @@ import (
 	"pimcache/internal/cache"
 	"pimcache/internal/cliutil"
 	"pimcache/internal/mem"
+	"pimcache/internal/obs"
 	"pimcache/internal/par"
 	"pimcache/internal/probe"
 	"pimcache/internal/stats"
@@ -57,8 +59,14 @@ func main() {
 		events    = flag.String("events", "", "write a Perfetto trace-event JSON timeline to this file")
 		intervals = flag.Uint64("intervals", 0, "print interval metrics every N simulated cycles")
 		hotspots  = flag.Int("hotspots", 0, "print the top-K most contended blocks")
+		manifest  = flag.String("manifest", "", "write a structured run manifest (JSON) to this file (single -bench entry)")
+		scenario  = flag.String("scenario", "", "scenario label recorded in the manifest (pimreport baseline key)")
 	)
 	flag.Parse()
+
+	man := obs.NewManifest("pimsim")
+	man.Scenario = *scenario
+	ph := obs.NewPhases()
 
 	if err := cliutil.FirstError(
 		cliutil.ValidatePEs(*pes),
@@ -84,6 +92,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *manifest != "" && len(benches) > 1 {
+		fmt.Fprintln(os.Stderr, "pimsim: -manifest needs a single -bench entry (one machine, one manifest)")
+		os.Exit(2)
+	}
+
 	timing := bus.Timing{MemCycles: 8, WidthWords: *width}
 	probing := *events != "" || *intervals > 0 || *hotspots > 0
 	if probing {
@@ -91,16 +104,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pimsim: -events/-intervals/-hotspots need a single -bench entry (one machine, one timeline)")
 			os.Exit(2)
 		}
-		if err := runProbed(benches[0], *scale, *pes, ccfg, timing,
-			*events, *intervals, *hotspots); err != nil {
+		rd, err := runProbed(benches[0], *scale, *pes, ccfg, timing,
+			*events, *intervals, *hotspots, ph)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "pimsim:", err)
 			os.Exit(1)
 		}
+		writeManifest(man, *manifest, rd, ccfg, timing, *optsName, ph)
 		return
 	}
 
 	// Fan the runs out, but buffer each report and print in list order.
 	reports := make([]strings.Builder, len(benches))
+	results := make([]*bench.RunData, len(benches))
 	pool := par.New(*jobs)
 	for i, b := range benches {
 		i, b := i, b
@@ -109,10 +125,13 @@ func main() {
 			if runScale == 0 {
 				runScale = b.DefaultScale
 			}
+			sp := ph.Start("live/" + b.Name)
 			rd, _, err := bench.RunLiveTiming(b, runScale, *pes, ccfg, timing, false)
+			sp.End()
 			if err != nil {
 				return err
 			}
+			results[i] = rd
 			printReport(&reports[i], b, rd, ccfg)
 			return nil
 		})
@@ -130,12 +149,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pimsim:", err)
 		os.Exit(1)
 	}
+	writeManifest(man, *manifest, results[0], ccfg, timing, *optsName, ph)
+}
+
+// writeManifest records a single-benchmark run: the configuration, the
+// deterministic workload outcome (output digest, reductions, rounds)
+// and the full cache/bus statistics. No-op when path is empty.
+func writeManifest(man *obs.Manifest, path string, rd *bench.RunData, ccfg cache.Config, timing bus.Timing, optsName string, ph *obs.Phases) {
+	if path == "" || rd == nil {
+		return
+	}
+	man.Config = obs.NewRunConfig(rd.PEs, ccfg, timing, optsName, "live", 0)
+	out := sha256.Sum256([]byte(rd.Result.Output))
+	man.Workload = &obs.Workload{
+		Bench:        rd.Bench,
+		Scale:        rd.Scale,
+		OutputSHA256: obs.HexDigest(out[:]),
+		Reductions:   rd.Result.Emu.Reductions,
+		Rounds:       rd.Result.Rounds,
+	}
+	refs := rd.Cache.TotalRefs()
+	man.Stats = obs.NewRunStats(refs, rd.Cache, rd.Bus)
+	man.FinishTiming(ph, nil, refs, ph.Elapsed().Seconds())
+	if err := man.WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "pimsim:", err)
+		os.Exit(1)
+	}
 }
 
 // runProbed executes one benchmark with the probe layer attached,
 // prints the usual report plus the requested telemetry tables, and
 // writes the Perfetto export.
-func runProbed(b programs.Benchmark, scale, pes int, ccfg cache.Config, timing bus.Timing, events string, intervals uint64, hotspots int) error {
+func runProbed(b programs.Benchmark, scale, pes int, ccfg cache.Config, timing bus.Timing, events string, intervals uint64, hotspots int, ph *obs.Phases) (*bench.RunData, error) {
 	runScale := scale
 	if runScale == 0 {
 		runScale = b.DefaultScale
@@ -147,7 +192,7 @@ func runProbed(b programs.Benchmark, scale, pes int, ccfg cache.Config, timing b
 	if events != "" {
 		f, err := os.Create(events)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		eventsFile = f
 		pf = probe.NewPerfetto(f, pes)
@@ -164,9 +209,11 @@ func runProbed(b programs.Benchmark, scale, pes int, ccfg cache.Config, timing b
 		sinks = append(sinks, hs)
 	}
 
+	sp := ph.Start("live/" + b.Name)
 	rd, _, err := bench.RunLiveProbed(b, runScale, pes, ccfg, timing, false, probe.Multi(sinks...))
+	sp.End()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	printReport(os.Stdout, b, rd, ccfg)
 	if iv != nil {
@@ -179,14 +226,14 @@ func runProbed(b programs.Benchmark, scale, pes int, ccfg cache.Config, timing b
 	}
 	if pf != nil {
 		if err := pf.Close(); err != nil {
-			return fmt.Errorf("writing %s: %w", events, err)
+			return nil, fmt.Errorf("writing %s: %w", events, err)
 		}
 		if err := eventsFile.Close(); err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("wrote %s — open it at https://ui.perfetto.dev\n", events)
 	}
-	return nil
+	return rd, nil
 }
 
 func printReport(w io.Writer, b programs.Benchmark, rd *bench.RunData, ccfg cache.Config) {

@@ -16,18 +16,23 @@
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
 
 	"pimcache/internal/cache"
 	"pimcache/internal/cliutil"
+	"pimcache/internal/obs"
 )
 
 func main() {
 	proto := flag.String("protocol", "pim", "pim, illinois, or writethrough")
 	jobs := flag.Int("jobs", 0, "concurrent derivation experiments (0 = all CPU cores)")
+	manifest := flag.String("manifest", "", "write a structured run manifest (JSON) to this file")
 	flag.Parse()
+	man := obs.NewManifest("pimtable")
+	ph := obs.NewPhases()
 	if err := cliutil.ValidateJobs(*jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "pimtable:", err)
 		os.Exit(2)
@@ -37,9 +42,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pimtable:", err)
 		os.Exit(2)
 	}
+	sp := ph.Start("derive/" + *proto)
 	rows := cache.DeriveTransitionsJobs(p, *jobs)
+	sp.End()
 	fmt.Printf("%s protocol: %d derived transitions\n", *proto, len(rows))
 	fmt.Println("(local PE0 state x remote PE1 context x processor op; base timing)")
 	fmt.Println()
-	fmt.Print(cache.FormatTransitions(rows))
+	table := cache.FormatTransitions(rows)
+	fmt.Print(table)
+	if *manifest != "" {
+		// The derived table is a deterministic protocol fingerprint:
+		// its digest in Extra makes any cross-host divergence in the
+		// state machine itself visible to pimreport diff.
+		man.Config.Protocol = p.String()
+		man.Config.Mode = "derive"
+		sum := sha256.Sum256([]byte(table))
+		man.Extra = map[string]string{
+			"transitions":  fmt.Sprint(len(rows)),
+			"table_sha256": obs.HexDigest(sum[:]),
+		}
+		man.FinishTiming(ph, nil, 0, ph.Elapsed().Seconds())
+		if err := man.WriteFile(*manifest); err != nil {
+			fmt.Fprintln(os.Stderr, "pimtable:", err)
+			os.Exit(1)
+		}
+	}
 }

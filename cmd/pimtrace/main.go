@@ -10,16 +10,21 @@
 package main
 
 import (
+	"bufio"
+	"crypto/sha256"
 	"flag"
 	"fmt"
+	"hash"
 	"io"
 	"os"
+	"time"
 
 	"pimcache/internal/bench"
 	"pimcache/internal/bench/programs"
 	"pimcache/internal/bus"
 	"pimcache/internal/cache"
 	"pimcache/internal/cliutil"
+	"pimcache/internal/obs"
 	"pimcache/internal/stats"
 	"pimcache/internal/synth"
 	"pimcache/internal/trace"
@@ -163,9 +168,15 @@ func replay(args []string) {
 	block := fs.Int("block", 4, "block size in words")
 	ways := fs.Int("ways", 4, "associativity")
 	optsName := fs.String("opts", "all", "none, heap, goal, comm, all")
+	protocolName := fs.String("protocol", "pim", "pim, illinois, or writethrough")
 	width := fs.Int("buswidth", 1, "bus width in words")
 	shards := fs.Int("shards", 1, "partition the replay across N cores by cache set (identical statistics; materializes the trace)")
 	statsOnly := fs.Bool("statsonly", false, "replay without a data plane (identical statistics, less memory and time)")
+	packed := fs.Bool("packed", false, "pre-decode into a packed stream before replaying (identical statistics; materializes the trace)")
+	manifestPath := fs.String("manifest", "", "write a structured run manifest (JSON) to this file")
+	scenario := fs.String("scenario", "", "scenario label recorded in the manifest (pimreport baseline key)")
+	heartbeat := fs.Duration("heartbeat", 0, "report streaming progress on stderr at this interval (e.g. 10s; 0 disables)")
+	prof := cliutil.ProfileFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		fatal(fmt.Errorf("replay: one trace file expected"))
@@ -173,38 +184,114 @@ func replay(args []string) {
 	if *shards < 0 {
 		fatal(fmt.Errorf("replay: -shards must be non-negative (got %d)", *shards))
 	}
-	ccfg, err := cliutil.BuildCacheConfig(*size, *block, *ways, *optsName, "pim")
+	if *packed && *shards > 1 {
+		fatal(fmt.Errorf("replay: -packed and -shards are mutually exclusive"))
+	}
+	ccfg, err := cliutil.BuildCacheConfig(*size, *block, *ways, *optsName, *protocolName)
 	if err != nil {
 		fatal(err)
 	}
 	ccfg.StatsOnly = *statsOnly
 	timing := bus.Timing{MemCycles: 8, WidthWords: *width}
+
+	// Observability: the manifest is assembled from the start (it
+	// captures host identity and wall time), but written only when
+	// -manifest was given. Hashing the trace is skipped otherwise.
+	man := obs.NewManifest("pimtrace")
+	man.Scenario = *scenario
+	ph := obs.NewPhases()
+	reg := obs.NewRegistry()
+	wantManifest := *manifestPath != ""
+	stopProfiles, err := cliutil.StartProfiles(*prof)
+	if err != nil {
+		fatal(err)
+	}
+
+	mode := "stream"
+	switch {
+	case *shards > 1:
+		mode = "sharded"
+	case *packed:
+		mode = "packed"
+	}
+
 	var bs bus.Stats
 	var cs cache.Stats
 	var refs int
-	if *shards > 1 {
-		// Sharding partitions by cache set, which needs the whole stream
-		// in memory; the single-shard path streams instead.
-		tr := readTrace(fs.Arg(0))
-		bs, cs, err = bench.ReplayConfigSharded(tr, ccfg, timing, *shards)
+	var pes int
+	var layoutWords uint64
+	digest := sha256.New()
+	var workSeconds float64
+	if mode != "stream" {
+		// Sharding and packing need the whole stream in memory; the
+		// stream path below replays in constant memory instead.
+		var tr *trace.Trace
+		err := ph.Time("decode", func() error {
+			var err error
+			tr, err = readTraceHashed(fs.Arg(0), digestIf(wantManifest, digest))
+			return err
+		})
 		if err != nil {
 			fatal(err)
 		}
+		pes, layoutWords = tr.PEs, uint64(tr.Layout.TotalWords())
 		refs = tr.Len()
+		t0 := time.Now()
+		if mode == "sharded" {
+			err = ph.Time("replay/sharded", func() error {
+				bs, cs, err = bench.ReplayConfigSharded(tr, ccfg, timing, *shards)
+				return err
+			})
+		} else {
+			err = ph.Time("replay/packed", func() error {
+				p, err := trace.Pack(tr)
+				if err != nil {
+					return err
+				}
+				bs, cs, err = bench.ReplayPacked(p, ccfg, timing)
+				return err
+			})
+		}
+		workSeconds = time.Since(t0).Seconds()
+		if err != nil {
+			fatal(err)
+		}
 	} else {
 		f, err := os.Open(fs.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		d, err := trace.NewReader(f)
+		cr := &obs.CountingReader{R: f}
+		var src io.Reader = cr
+		if wantManifest {
+			src = io.TeeReader(cr, digest)
+		}
+		d, err := trace.NewReader(bufio.NewReaderSize(src, 1<<20))
 		if err != nil {
 			fatal(err)
 		}
-		bs, cs, refs, err = bench.ReplayReader(d, ccfg, timing, nil)
+		pes, layoutWords = d.PEs(), uint64(d.Layout().TotalWords())
+		hb := obs.NewHeartbeat(os.Stderr, "replay", *heartbeat, d.Len()).Start()
+		chunks := reg.Counter("trace.chunks")
+		d.SetProgress(func(n int) {
+			chunks.Inc()
+			hb.Add(uint64(n))
+			hb.SetBytes(cr.Bytes())
+		})
+		t0 := time.Now()
+		err = ph.Time("replay/stream", func() error {
+			bs, cs, refs, err = bench.ReplayReader(d, ccfg, timing, nil)
+			return err
+		})
+		workSeconds = time.Since(t0).Seconds()
+		hb.Stop()
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if err := stopProfiles(); err != nil {
+		fatal(err)
 	}
 	fmt.Printf("replayed %d references: %d bus cycles, miss ratio %.4f, mem busy %d\n",
 		refs, bs.TotalCycles, cs.MissRatio(), bs.MemBusyCycles)
@@ -213,6 +300,31 @@ func replay(args []string) {
 			fmt.Printf("  %-20s %8d ops %10d cycles\n", p, bs.CountByPattern[p], bs.CyclesByPattern[p])
 		}
 	}
+	if wantManifest {
+		man.Config = obs.NewRunConfig(pes, ccfg, timing, *optsName, mode, *shards)
+		man.Trace = &obs.TraceInfo{
+			SHA256:      obs.HexDigest(digest.Sum(nil)),
+			Refs:        uint64(refs),
+			PEs:         pes,
+			LayoutWords: layoutWords,
+		}
+		man.Stats = obs.NewRunStats(uint64(refs), cs, bs)
+		man.Timing.TraceFile = fs.Arg(0)
+		man.Timing.Profiles = prof.Paths()
+		man.FinishTiming(ph, reg, uint64(refs), workSeconds)
+		if err := man.WriteFile(*manifestPath); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// digestIf returns h when cond is set, nil otherwise (hashing the
+// trace is pure overhead when no manifest will record it).
+func digestIf(cond bool, h hash.Hash) hash.Hash {
+	if cond {
+		return h
+	}
+	return nil
 }
 
 func writeTrace(tr *trace.Trace, path string) {
@@ -226,15 +338,18 @@ func writeTrace(tr *trace.Trace, path string) {
 	}
 }
 
-func readTrace(path string) *trace.Trace {
+// readTraceHashed materializes a trace, feeding the raw bytes through
+// h (when non-nil) so the caller gets the file's content digest for
+// free.
+func readTraceHashed(path string, h hash.Hash) (*trace.Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	defer f.Close()
-	tr, err := trace.Read(f)
-	if err != nil {
-		fatal(err)
+	var src io.Reader = f
+	if h != nil {
+		src = io.TeeReader(f, h)
 	}
-	return tr
+	return trace.Read(src)
 }

@@ -21,6 +21,7 @@ import (
 	"pimcache/internal/kl1/word"
 	"pimcache/internal/machine"
 	"pimcache/internal/mem"
+	"pimcache/internal/obs"
 	"pimcache/internal/par"
 	"pimcache/internal/probe"
 	"pimcache/internal/trace"
@@ -78,6 +79,13 @@ type Options struct {
 	// unaffected — they record with a data-carrying configuration, since
 	// program execution consumes the values.
 	StatsOnly bool
+	// Phases, when non-nil, collects per-phase wall times (live runs,
+	// replays) for the run manifest. Nil disables timing at zero cost —
+	// every obs handle is nil-safe.
+	Phases *obs.Phases
+	// Metrics, when non-nil, receives simulator self-metrics (replayed
+	// references, jobs run) for the run manifest. Nil disables them.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions mirrors the paper's evaluation.
@@ -431,6 +439,7 @@ func collectSerial(o Options) (*Data, error) {
 		}
 		// Live PE sweep with all optimizations (Figure 3, Table 1).
 		var tr *trace.Trace
+		liveSpan := o.Phases.Start("live/" + b.Name)
 		for _, pes := range o.PESweep {
 			progress("live run on %d PEs (scale %d)", pes, scale)
 			record := pes == o.PEs
@@ -438,15 +447,18 @@ func collectSerial(o Options) (*Data, error) {
 			if err != nil {
 				return nil, err
 			}
+			o.Metrics.Counter("bench.live.runs").Inc()
 			bd.LiveByPEs[pes] = rd
 			if record {
 				tr = t
 				bd.Refs = rd.Cache
 			}
 		}
+		liveSpan.End()
 		if tr == nil {
 			return nil, fmt.Errorf("%s: PESweep %v does not include PEs=%d", b.Name, o.PESweep, o.PEs)
 		}
+		replaySpan := o.Phases.Start("replay/" + b.Name)
 		rep := o.newReplayer(tr.Len())
 		// Table 4 variants.
 		for _, v := range OptVariants {
@@ -527,6 +539,7 @@ func collectSerial(o Options) (*Data, error) {
 			}
 			bd.WriteThrough = wbs
 		}
+		replaySpan.End()
 		data.Benches = append(data.Benches, bd)
 	}
 	return data, nil
@@ -542,6 +555,8 @@ func mergeDefaults(o Options) Options {
 	d.DisableBusFilters = o.DisableBusFilters
 	d.WarmedSweeps = o.WarmedSweeps
 	d.StatsOnly = o.StatsOnly
+	d.Phases = o.Phases
+	d.Metrics = o.Metrics
 	if o.PESweep != nil {
 		d.PESweep = o.PESweep
 	}

@@ -157,10 +157,13 @@ func submitLiveJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState, 
 		record := i == recordIdx
 		pool.Go(func() error {
 			pw.Printf(st.bench.Name, "live run on %d PEs (scale %d)", pes, st.scale)
+			sp := o.Phases.Start("live/" + st.bench.Name)
 			rd, tr, err := RunLive(st.bench, st.scale, pes, o.baseCache(cache.OptionsAll()), record)
+			sp.End()
 			if err != nil {
 				return err
 			}
+			o.Metrics.Counter("bench.live.runs").Inc()
 			st.live[i] = rd
 			if record {
 				st.bd.Refs = rd.Cache
@@ -188,7 +191,10 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 				return fmt.Errorf("%s/%s: trace released early", name, label)
 			}
 			pw.Printf(name, "replay %s (%d refs)", label, tr.Len())
-			return job(tr)
+			sp := o.Phases.Start("replay/" + name)
+			err := job(tr)
+			sp.End()
+			return err
 		})
 	}
 	for i, v := range OptVariants {

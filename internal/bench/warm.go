@@ -7,6 +7,7 @@ import (
 	"pimcache/internal/cache"
 	"pimcache/internal/machine"
 	"pimcache/internal/mem"
+	"pimcache/internal/obs"
 	"pimcache/internal/trace"
 )
 
@@ -152,6 +153,7 @@ func newReplayMachine(tr *trace.Trace, ccfg cache.Config, timing bus.Timing) (*m
 type replayer struct {
 	warm      *WarmCache
 	statsOnly bool
+	metrics   *obs.Registry
 }
 
 // newReplayer builds the per-benchmark replayer: with warmed sweeps on it
@@ -160,7 +162,7 @@ type replayer struct {
 // Registration applies the same StatsOnly stamp Replay does — warm keys
 // are exact configuration matches, so the two must agree.
 func (o Options) newReplayer(traceLen int) *replayer {
-	r := &replayer{statsOnly: o.StatsOnly}
+	r := &replayer{statsOnly: o.StatsOnly, metrics: o.Metrics}
 	if !o.WarmedSweeps {
 		return r
 	}
@@ -178,6 +180,8 @@ func (o Options) newReplayer(traceLen int) *replayer {
 
 // Replay dispatches one replay job.
 func (r *replayer) Replay(tr *trace.Trace, ccfg cache.Config, timing bus.Timing) (bus.Stats, cache.Stats, error) {
+	r.metrics.Counter("bench.replay.jobs").Inc()
+	r.metrics.Counter("bench.replay.refs").Add(uint64(tr.Len()))
 	if r.statsOnly {
 		ccfg.StatsOnly = true
 	}

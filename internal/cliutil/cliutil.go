@@ -6,6 +6,7 @@
 package cliutil
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
@@ -102,16 +103,55 @@ func BuildCacheConfig(sizeWords, blockWords, ways int, optsName, protocolName st
 	return cfg, nil
 }
 
-// StartProfiles starts CPU and/or heap profiling per the -cpuprofile and
-// -memprofile flags (either may be empty). It returns a stop function the
-// command must call on every exit path — typically via defer from main's
-// run helper — which stops the CPU profile and writes the heap profile.
-// Errors opening or writing the profile files come back as ordinary
-// errors; profiling never aborts the simulation it is measuring.
-func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+// ProfileSpec names the profile outputs a command was asked for. Empty
+// paths disable the corresponding profile. Paths() feeds the manifest's
+// Timing.Profiles block, so a regression report links straight to the
+// profiles of the run that regressed.
+type ProfileSpec struct {
+	CPU   string // -cpuprofile
+	Mem   string // -memprofile
+	Block string // -blockprofile (goroutine blocking)
+	Mutex string // -mutexprofile (contended mutexes)
+}
+
+// ProfileFlags registers the profile flags on fs and returns the spec
+// they fill (valid after fs.Parse).
+func ProfileFlags(fs *flag.FlagSet) *ProfileSpec {
+	var p ProfileSpec
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a heap profile to this file")
+	fs.StringVar(&p.Block, "blockprofile", "", "write a goroutine-blocking profile to this file")
+	fs.StringVar(&p.Mutex, "mutexprofile", "", "write a mutex-contention profile to this file")
+	return &p
+}
+
+// Paths returns the non-empty profile outputs keyed by kind (nil when
+// no profiling was requested) — the shape the run manifest records.
+func (p ProfileSpec) Paths() map[string]string {
+	out := map[string]string{}
+	for kind, path := range map[string]string{
+		"cpu": p.CPU, "mem": p.Mem, "block": p.Block, "mutex": p.Mutex,
+	} {
+		if path != "" {
+			out[kind] = path
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// StartProfiles starts every profile the spec requests. It returns a
+// stop function the command must call on every exit path — typically
+// via defer from main's run helper — which stops the CPU profile and
+// writes the heap/block/mutex profiles. Errors opening or writing the
+// profile files come back as ordinary errors; profiling never aborts
+// the simulation it is measuring.
+func StartProfiles(spec ProfileSpec) (stop func() error, err error) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
+	if spec.CPU != "" {
+		cpuFile, err = os.Create(spec.CPU)
 		if err != nil {
 			return nil, fmt.Errorf("-cpuprofile: %w", err)
 		}
@@ -120,6 +160,12 @@ func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("-cpuprofile: %w", err)
 		}
 	}
+	if spec.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if spec.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
@@ -127,8 +173,8 @@ func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
 				return fmt.Errorf("-cpuprofile: %w", err)
 			}
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
+		if spec.Mem != "" {
+			f, err := os.Create(spec.Mem)
 			if err != nil {
 				return fmt.Errorf("-memprofile: %w", err)
 			}
@@ -138,8 +184,34 @@ func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
 				return fmt.Errorf("-memprofile: %w", err)
 			}
 		}
+		if spec.Block != "" {
+			if err := writeNamedProfile("block", spec.Block); err != nil {
+				return fmt.Errorf("-blockprofile: %w", err)
+			}
+			runtime.SetBlockProfileRate(0)
+		}
+		if spec.Mutex != "" {
+			if err := writeNamedProfile("mutex", spec.Mutex); err != nil {
+				return fmt.Errorf("-mutexprofile: %w", err)
+			}
+			runtime.SetMutexProfileFraction(0)
+		}
 		return nil
 	}, nil
+}
+
+// writeNamedProfile dumps one of the runtime's named profiles to path.
+func writeNamedProfile(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("runtime profile %q not found", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.WriteTo(f, 0)
 }
 
 // FirstError returns the first non-nil error, letting commands

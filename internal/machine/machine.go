@@ -285,6 +285,18 @@ func (m *Machine) CacheStats() cache.Stats {
 	return total
 }
 
+// PerPECacheStats returns each PE cache's statistics individually
+// (index = PE). The manifest determinism oracle uses it to pin that
+// every replay engine produces identical per-PE stats, not merely an
+// identical aggregate.
+func (m *Machine) PerPECacheStats() []cache.Stats {
+	out := make([]cache.Stats, len(m.caches))
+	for i, c := range m.caches {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
 // ResetStats zeroes bus and cache statistics (e.g. after a warm-up).
 func (m *Machine) ResetStats() {
 	m.bus.ResetStats()

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Heartbeat periodically reports the progress of a long streaming
+// replay on stderr: references done, throughput, bytes read and an
+// ETA. The replay loop feeds it with Add/SetBytes from the hot path
+// (both are one atomic each); a background goroutine formats and
+// writes one line per period, so a multi-gigabyte replay is never
+// silent and never slowed down by terminal I/O.
+//
+// A nil *Heartbeat discards everything, so callers wire it
+// unconditionally: NewHeartbeat returns nil when the period is zero
+// or the writer is nil.
+type Heartbeat struct {
+	w     io.Writer
+	label string
+	every time.Duration
+	total uint64 // expected references (0: unknown, no percentage/ETA)
+
+	now   func() time.Time // injectable clock for tests
+	start time.Time
+
+	done  atomic.Uint64
+	bytes atomic.Uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewHeartbeat makes a heartbeat writing to w every period. total is
+// the expected number of references (from the trace header), or 0
+// when unknown. Returns nil — a disabled heartbeat — when w is nil or
+// every is not positive.
+func NewHeartbeat(w io.Writer, label string, every time.Duration, total uint64) *Heartbeat {
+	if w == nil || every <= 0 {
+		return nil
+	}
+	h := &Heartbeat{
+		w: w, label: label, every: every, total: total,
+		now:  time.Now,
+		stop: make(chan struct{}),
+	}
+	h.start = h.now()
+	return h
+}
+
+// Add records n more references done. Nil-safe, allocation-free.
+func (h *Heartbeat) Add(n uint64) {
+	if h != nil {
+		h.done.Add(n)
+	}
+}
+
+// SetBytes records the total bytes read so far. Nil-safe,
+// allocation-free.
+func (h *Heartbeat) SetBytes(n uint64) {
+	if h != nil {
+		h.bytes.Store(n)
+	}
+}
+
+// Start launches the reporting goroutine and returns h for chaining.
+// Nil-safe.
+func (h *Heartbeat) Start() *Heartbeat {
+	if h == nil {
+		return nil
+	}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		t := time.NewTicker(h.every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(h.w, h.line())
+			case <-h.stop:
+				return
+			}
+		}
+	}()
+	return h
+}
+
+// Stop halts the reporting goroutine and writes one final line (so a
+// replay shorter than the period still reports once). Nil-safe and
+// idempotent.
+func (h *Heartbeat) Stop() {
+	if h == nil {
+		return
+	}
+	h.stopOnce.Do(func() {
+		close(h.stop)
+		h.wg.Wait()
+		fmt.Fprintln(h.w, h.line())
+	})
+}
+
+// line formats one progress report from the current counters.
+func (h *Heartbeat) line() string {
+	done := h.done.Load()
+	bytes := h.bytes.Load()
+	elapsed := h.now().Sub(h.start).Seconds()
+	var rate float64 // refs per second
+	if elapsed > 0 {
+		rate = float64(done) / elapsed
+	}
+	s := fmt.Sprintf("%s: %.2f Mrefs", h.label, float64(done)/1e6)
+	if h.total > 0 {
+		s += fmt.Sprintf(" (%.1f%%)", 100*float64(done)/float64(h.total))
+	}
+	s += fmt.Sprintf(" · %.1f Mrefs/s", rate/1e6)
+	if bytes > 0 {
+		s += fmt.Sprintf(" · %.1f MB read", float64(bytes)/1e6)
+	}
+	if h.total > 0 && rate > 0 && done < h.total {
+		eta := float64(h.total-done) / rate
+		s += fmt.Sprintf(" · ETA %.0fs", eta)
+	}
+	return s
+}
+
+// CountingReader wraps an io.Reader, counting the bytes delivered so a
+// streaming replay can report read progress. Safe for concurrent Bytes
+// while one goroutine reads.
+type CountingReader struct {
+	R io.Reader
+	n atomic.Uint64
+}
+
+// Read implements io.Reader.
+func (c *CountingReader) Read(p []byte) (int, error) {
+	n, err := c.R.Read(p)
+	c.n.Add(uint64(n))
+	return n, err
+}
+
+// Bytes reports how many bytes have been read.
+func (c *CountingReader) Bytes() uint64 { return c.n.Load() }

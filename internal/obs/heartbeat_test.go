@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHeartbeatDisabled(t *testing.T) {
+	if h := NewHeartbeat(nil, "replay", time.Second, 0); h != nil {
+		t.Fatal("nil writer must disable the heartbeat")
+	}
+	if h := NewHeartbeat(&bytes.Buffer{}, "replay", 0, 0); h != nil {
+		t.Fatal("zero period must disable the heartbeat")
+	}
+	var h *Heartbeat
+	h.Add(10)
+	h.SetBytes(100)
+	h.Stop() // all nil-safe
+	if h.Start() != nil {
+		t.Fatal("nil Start must return nil")
+	}
+}
+
+func TestHeartbeatLine(t *testing.T) {
+	var buf bytes.Buffer
+	h := NewHeartbeat(&buf, "replay", time.Minute, 4_000_000)
+	// Deterministic clock: 2s after start.
+	base := time.Unix(100, 0)
+	h.start = base
+	h.now = func() time.Time { return base.Add(2 * time.Second) }
+
+	h.Add(2_000_000)
+	h.SetBytes(10_000_000)
+	line := h.line()
+
+	for _, want := range []string{
+		"replay: 2.00 Mrefs",
+		"(50.0%)",
+		"1.0 Mrefs/s",
+		"10.0 MB read",
+		"ETA 2s",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestHeartbeatUnknownTotal(t *testing.T) {
+	h := NewHeartbeat(&bytes.Buffer{}, "replay", time.Minute, 0)
+	base := time.Unix(100, 0)
+	h.start = base
+	h.now = func() time.Time { return base.Add(time.Second) }
+	h.Add(500_000)
+	line := h.line()
+	if strings.Contains(line, "%") || strings.Contains(line, "ETA") {
+		t.Errorf("unknown-total line should omit %%/ETA: %q", line)
+	}
+	if !strings.Contains(line, "0.50 Mrefs") {
+		t.Errorf("line %q missing ref count", line)
+	}
+}
+
+// TestHeartbeatStopWritesFinalLine: a replay shorter than the period
+// still reports once, and Stop is idempotent.
+func TestHeartbeatStopWritesFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	h := NewHeartbeat(&buf, "replay", time.Hour, 100).Start()
+	h.Add(100)
+	h.Stop()
+	h.Stop()
+	out := buf.String()
+	if n := strings.Count(out, "replay:"); n != 1 {
+		t.Fatalf("want exactly 1 final line, got %d: %q", n, out)
+	}
+	if !strings.Contains(out, "(100.0%)") {
+		t.Errorf("final line should show completion: %q", out)
+	}
+}
+
+func TestCountingReader(t *testing.T) {
+	src := strings.NewReader(strings.Repeat("x", 1000))
+	cr := &CountingReader{R: src}
+	buf := make([]byte, 64)
+	var total int
+	for {
+		n, err := cr.Read(buf)
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	if total != 1000 || cr.Bytes() != 1000 {
+		t.Fatalf("read %d, counted %d, want 1000", total, cr.Bytes())
+	}
+}

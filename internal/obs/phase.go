@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Phases collects hierarchical wall-clock spans: record, pack, warm,
+// replay, report. Hierarchy is encoded in the span path with slashes
+// ("replay/Tri/block=8"), so concurrent jobs time themselves without
+// sharing any nesting state — each Start returns an independent Span
+// and End is safe from any goroutine. A nil *Phases disables timing
+// (Start returns a nil Span whose End is a no-op).
+type Phases struct {
+	now func() time.Time // injectable clock for tests
+
+	mu    sync.Mutex
+	t0    time.Time
+	spans []completedSpan
+}
+
+type completedSpan struct {
+	path string
+	dur  time.Duration
+}
+
+// NewPhases makes a phase collector whose epoch is now.
+func NewPhases() *Phases {
+	p := &Phases{now: time.Now}
+	p.t0 = p.now()
+	return p
+}
+
+// Span is one in-flight phase measurement.
+type Span struct {
+	p     *Phases
+	path  string
+	start time.Time
+}
+
+// Start opens a span at the given slash-separated path. Nil-safe.
+func (p *Phases) Start(path string) *Span {
+	if p == nil {
+		return nil
+	}
+	return &Span{p: p, path: path, start: p.now()}
+}
+
+// End closes the span, recording its duration under its path. Nil-safe
+// and idempotent-enough: calling End twice records the span twice, so
+// don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := s.p.now().Sub(s.start)
+	s.p.mu.Lock()
+	s.p.spans = append(s.p.spans, completedSpan{path: s.path, dur: d})
+	s.p.mu.Unlock()
+}
+
+// Time runs fn under a span at path and propagates its error. Nil-safe
+// (fn still runs).
+func (p *Phases) Time(path string, fn func() error) error {
+	sp := p.Start(path)
+	err := fn()
+	sp.End()
+	return err
+}
+
+// PhaseSummary aggregates every completed span sharing one path.
+type PhaseSummary struct {
+	Path    string  `json:"path"`
+	Count   int     `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Summary aggregates completed spans by path, sorted by path for a
+// deterministic manifest layout. A nil collector summarizes to nil.
+func (p *Phases) Summary() []PhaseSummary {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	agg := map[string]*PhaseSummary{}
+	for _, s := range p.spans {
+		ps := agg[s.path]
+		if ps == nil {
+			ps = &PhaseSummary{Path: s.path}
+			agg[s.path] = ps
+		}
+		ps.Count++
+		ps.Seconds += s.dur.Seconds()
+	}
+	out := make([]PhaseSummary, 0, len(agg))
+	for _, ps := range agg {
+		out = append(out, *ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Elapsed reports wall time since the collector was created (0 for
+// nil).
+func (p *Phases) Elapsed() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.now().Sub(p.t0)
+}

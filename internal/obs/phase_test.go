@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic time source whose reading advances by
+// step on every call, so span durations are exact in tests.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func newTestPhases(step time.Duration) (*Phases, *fakeClock) {
+	c := &fakeClock{t: time.Unix(0, 0), step: step}
+	p := &Phases{now: c.now}
+	p.t0 = p.now()
+	return p, c
+}
+
+func TestPhasesSummary(t *testing.T) {
+	p, _ := newTestPhases(time.Second)
+
+	// Each Start+End pair consumes two clock ticks → 1s per span.
+	p.Start("replay").End()
+	p.Start("replay").End()
+	p.Start("pack").End()
+
+	sum := p.Summary()
+	if len(sum) != 2 {
+		t.Fatalf("summary has %d paths, want 2: %+v", len(sum), sum)
+	}
+	// Sorted by path: pack before replay.
+	if sum[0].Path != "pack" || sum[0].Count != 1 || sum[0].Seconds != 1 {
+		t.Fatalf("pack summary wrong: %+v", sum[0])
+	}
+	if sum[1].Path != "replay" || sum[1].Count != 2 || sum[1].Seconds != 2 {
+		t.Fatalf("replay summary wrong: %+v", sum[1])
+	}
+}
+
+func TestPhasesTime(t *testing.T) {
+	p, _ := newTestPhases(time.Second)
+	wantErr := errors.New("boom")
+	if err := p.Time("warm", func() error { return wantErr }); err != wantErr {
+		t.Fatalf("Time did not propagate error: %v", err)
+	}
+	sum := p.Summary()
+	if len(sum) != 1 || sum[0].Path != "warm" || sum[0].Seconds != 1 {
+		t.Fatalf("warm span not recorded: %+v", sum)
+	}
+}
+
+func TestPhasesNil(t *testing.T) {
+	var p *Phases
+	p.Start("x").End() // must not panic
+	ran := false
+	if err := p.Time("y", func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("nil Phases.Time must still run fn")
+	}
+	if p.Summary() != nil {
+		t.Fatal("nil Phases summary must be nil")
+	}
+	if p.Elapsed() != 0 {
+		t.Fatal("nil Phases elapsed must be 0")
+	}
+}
+
+func TestPhasesConcurrent(t *testing.T) {
+	p := NewPhases()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				p.Start("worker").End()
+			}
+		}()
+	}
+	wg.Wait()
+	sum := p.Summary()
+	if len(sum) != 1 || sum[0].Count != 800 {
+		t.Fatalf("concurrent spans lost: %+v", sum)
+	}
+}

@@ -1,0 +1,458 @@
+// Package report compares and aggregates run manifests (internal/obs):
+// it backs cmd/pimreport, the tool that replaced the awk throughput
+// gate in CI. The comparison rules mirror the manifest's two-part
+// structure:
+//
+//   - Deterministic sections (config, trace digest, cache/bus stats)
+//     are compared exactly. Two manifests with equal StatsKey that
+//     disagree on any stat field is a determinism violation — a hard
+//     error, never a tolerance question. This makes every CI run a
+//     free cross-host determinism oracle.
+//
+//   - Throughput is noisy, so it is gated with a tolerance band around
+//     the median of N runs: median(runs) >= baseline * (1 - tol).
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"pimcache/internal/obs"
+	"pimcache/internal/stats"
+)
+
+// Load reads one manifest per path.
+func Load(paths []string) ([]*obs.Manifest, error) {
+	ms := make([]*obs.Manifest, 0, len(paths))
+	for _, p := range paths {
+		m, err := obs.ReadManifestFile(p)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	return ms, nil
+}
+
+// LoadDir reads every *.json manifest in dir, sorted by filename.
+func LoadDir(dir string) ([]*obs.Manifest, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("report: no *.json manifests in %s", dir)
+	}
+	return Load(paths)
+}
+
+// StatMismatch is one deterministic field that differs between two
+// manifests that should agree bit for bit.
+type StatMismatch struct {
+	Path string // JSON field path, e.g. "stats.cache.read_miss"
+	A, B string // rendered values
+}
+
+// DiffStats compares the deterministic Stats sections of two manifests
+// field by field, returning every mismatching path. Both sides are
+// walked through their JSON rendering, so the comparison automatically
+// tracks the cache.Stats/bus.Stats schema.
+func DiffStats(a, b *obs.Manifest) ([]StatMismatch, error) {
+	av, err := toJSONValue(a.Stats)
+	if err != nil {
+		return nil, err
+	}
+	bv, err := toJSONValue(b.Stats)
+	if err != nil {
+		return nil, err
+	}
+	var out []StatMismatch
+	diffValue("stats", av, bv, &out)
+	return out, nil
+}
+
+func toJSONValue(v any) (any, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	var out any
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// diffValue walks two decoded JSON values in parallel, appending a
+// mismatch for every leaf (or structurally absent subtree) that
+// differs.
+func diffValue(path string, a, b any, out *[]StatMismatch) {
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok {
+			*out = append(*out, StatMismatch{Path: path, A: render(a), B: render(b)})
+			return
+		}
+		keys := map[string]bool{}
+		for k := range av {
+			keys[k] = true
+		}
+		for k := range bv {
+			keys[k] = true
+		}
+		sorted := make([]string, 0, len(keys))
+		for k := range keys {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		for _, k := range sorted {
+			diffValue(path+"."+k, av[k], bv[k], out)
+		}
+	case []any:
+		bv, ok := b.([]any)
+		if !ok || len(av) != len(bv) {
+			*out = append(*out, StatMismatch{Path: path, A: render(a), B: render(b)})
+			return
+		}
+		for i := range av {
+			diffValue(fmt.Sprintf("%s[%d]", path, i), av[i], bv[i], out)
+		}
+	default:
+		if render(a) != render(b) {
+			*out = append(*out, StatMismatch{Path: path, A: render(a), B: render(b)})
+		}
+	}
+}
+
+func render(v any) string {
+	if v == nil {
+		return "<absent>"
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%v", v)
+	}
+	return string(b)
+}
+
+// Diff is the result of comparing two manifests.
+type Diff struct {
+	SameKey      bool // identical scenario+config+trace (throughput comparable)
+	SameStatsKey bool // identical simulated machine+input (stats must match)
+	Mismatches   []StatMismatch
+	AThroughput  float64
+	BThroughput  float64
+}
+
+// DiffManifests compares a against b. Stats are compared whenever the
+// StatsKeys match (same simulated machine and input, possibly via
+// different engine modes); mismatches there are determinism
+// violations.
+func DiffManifests(a, b *obs.Manifest) (*Diff, error) {
+	d := &Diff{
+		SameKey:      a.Key() == b.Key(),
+		SameStatsKey: a.StatsKey() == b.StatsKey(),
+		AThroughput:  a.Timing.MrefsPerSec,
+		BThroughput:  b.Timing.MrefsPerSec,
+	}
+	if d.SameStatsKey {
+		mm, err := DiffStats(a, b)
+		if err != nil {
+			return nil, err
+		}
+		d.Mismatches = mm
+	}
+	return d, nil
+}
+
+// Format renders the diff for the terminal.
+func (d *Diff) Format(aName, bName string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "diff %s %s\n", aName, bName)
+	switch {
+	case d.SameKey:
+		sb.WriteString("  scenario: identical (throughput comparable)\n")
+	case d.SameStatsKey:
+		sb.WriteString("  scenario: same machine+input via different engine mode\n")
+	default:
+		sb.WriteString("  scenario: different machine or input (stats not compared)\n")
+	}
+	if d.SameStatsKey {
+		if len(d.Mismatches) == 0 {
+			sb.WriteString("  stats: identical (deterministic check passed)\n")
+		} else {
+			fmt.Fprintf(&sb, "  stats: DETERMINISM VIOLATION — %d field(s) differ:\n", len(d.Mismatches))
+			for _, m := range d.Mismatches {
+				fmt.Fprintf(&sb, "    %-40s %s != %s\n", m.Path, m.A, m.B)
+			}
+		}
+	}
+	if d.AThroughput > 0 && d.BThroughput > 0 {
+		delta := 100 * (d.BThroughput - d.AThroughput) / d.AThroughput
+		fmt.Fprintf(&sb, "  throughput: %.2f -> %.2f Mrefs/s (%+.1f%%)\n",
+			d.AThroughput, d.BThroughput, delta)
+	}
+	return sb.String()
+}
+
+// OK reports whether the diff found no determinism violation.
+func (d *Diff) OK() bool { return len(d.Mismatches) == 0 }
+
+// MedianManifest merges N runs of the same scenario into one manifest
+// carrying the median throughput (and median wall/work seconds), with
+// Timing.MedianOf recording N. All runs must share a Key, and their
+// deterministic stats must agree exactly — a disagreement between
+// repeat runs on one host is the strongest possible determinism alarm.
+func MedianManifest(runs []*obs.Manifest) (*obs.Manifest, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("report: median of zero manifests")
+	}
+	first := runs[0]
+	for i, r := range runs[1:] {
+		if r.Key() != first.Key() {
+			return nil, fmt.Errorf("report: manifest %d has key %s, first has %s — not the same scenario",
+				i+1, r.Key(), first.Key())
+		}
+		mm, err := DiffStats(first, r)
+		if err != nil {
+			return nil, err
+		}
+		if len(mm) != 0 {
+			return nil, fmt.Errorf("report: DETERMINISM VIOLATION between repeat runs: %s (%s != %s)",
+				mm[0].Path, mm[0].A, mm[0].B)
+		}
+	}
+	out := *first
+	out.Timing.MrefsPerSec = medianOf(runs, func(m *obs.Manifest) float64 { return m.Timing.MrefsPerSec })
+	out.Timing.WallSeconds = medianOf(runs, func(m *obs.Manifest) float64 { return m.Timing.WallSeconds })
+	out.Timing.WorkSeconds = medianOf(runs, func(m *obs.Manifest) float64 { return m.Timing.WorkSeconds })
+	out.Timing.MedianOf = len(runs)
+	return &out, nil
+}
+
+func medianOf(runs []*obs.Manifest, get func(*obs.Manifest) float64) float64 {
+	vals := make([]float64, len(runs))
+	for i, r := range runs {
+		vals[i] = get(r)
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// GroupByKey buckets manifests by scenario key, preserving first-seen
+// order of keys.
+func GroupByKey(ms []*obs.Manifest) ([]string, map[string][]*obs.Manifest) {
+	var order []string
+	groups := map[string][]*obs.Manifest{}
+	for _, m := range ms {
+		k := m.Key()
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], m)
+	}
+	return order, groups
+}
+
+// CheckLine is one scenario's verdict in a regression check.
+type CheckLine struct {
+	Scenario   string
+	Runs       int
+	Median     float64 // Mrefs/s, median of runs
+	Baseline   float64 // Mrefs/s from the baseline manifest
+	Floor      float64 // baseline * (1 - tolerance)
+	StatsOK    bool    // deterministic stats match the baseline
+	Mismatches []StatMismatch
+	Pass       bool
+	Note       string // set when the line failed structurally (no baseline, etc.)
+}
+
+// CheckResult is the full verdict of a regression check.
+type CheckResult struct {
+	Lines []CheckLine
+	// UnusedBaselines lists baseline scenarios no run matched — a
+	// drifted CI script silently skipping a gate is itself a failure.
+	UnusedBaselines []string
+}
+
+// OK reports whether every line passed and every baseline was
+// exercised.
+func (c *CheckResult) OK() bool {
+	for _, l := range c.Lines {
+		if !l.Pass {
+			return false
+		}
+	}
+	return len(c.UnusedBaselines) == 0
+}
+
+// Check gates runs against baselines: for each scenario (grouped by
+// Key), the median run throughput must reach baseline*(1-tolerance),
+// and the deterministic stats must equal the baseline's exactly. Runs
+// with no matching baseline fail (the gate must never silently skip),
+// as do baselines with no matching run.
+func Check(baselines, runs []*obs.Manifest, tolerance float64) (*CheckResult, error) {
+	if tolerance < 0 || tolerance >= 1 {
+		return nil, fmt.Errorf("report: tolerance %.2f out of range [0,1)", tolerance)
+	}
+	baseByKey := map[string]*obs.Manifest{}
+	for _, b := range baselines {
+		if prev, dup := baseByKey[b.Key()]; dup {
+			return nil, fmt.Errorf("report: two baselines share key %s (scenarios %q, %q)",
+				b.Key(), prev.Scenario, b.Scenario)
+		}
+		baseByKey[b.Key()] = b
+	}
+	matched := map[string]bool{}
+
+	res := &CheckResult{}
+	order, groups := GroupByKey(runs)
+	for _, key := range order {
+		group := groups[key]
+		line := CheckLine{
+			Scenario: scenarioLabel(group[0]),
+			Runs:     len(group),
+		}
+		med, err := MedianManifest(group)
+		if err != nil {
+			// Repeat-run determinism violation or key clash.
+			line.Note = err.Error()
+			res.Lines = append(res.Lines, line)
+			continue
+		}
+		line.Median = med.Timing.MrefsPerSec
+
+		base := baseByKey[key]
+		if base == nil {
+			line.Note = "no baseline for this scenario (key " + key + ")"
+			res.Lines = append(res.Lines, line)
+			continue
+		}
+		matched[key] = true
+		line.Baseline = base.Timing.MrefsPerSec
+		line.Floor = base.Timing.MrefsPerSec * (1 - tolerance)
+
+		mm, err := DiffStats(base, med)
+		if err != nil {
+			return nil, err
+		}
+		line.Mismatches = mm
+		line.StatsOK = len(mm) == 0
+		line.Pass = line.StatsOK && line.Median >= line.Floor
+		res.Lines = append(res.Lines, line)
+	}
+	for key, b := range baseByKey {
+		if !matched[key] {
+			res.UnusedBaselines = append(res.UnusedBaselines, scenarioLabel(b))
+		}
+	}
+	sort.Strings(res.UnusedBaselines)
+	return res, nil
+}
+
+func scenarioLabel(m *obs.Manifest) string {
+	if m.Scenario != "" {
+		return m.Scenario
+	}
+	return "key:" + m.Key()
+}
+
+// Format renders the check verdict for the terminal.
+func (c *CheckResult) Format() string {
+	var sb strings.Builder
+	t := &stats.Table{
+		Title:   "Perf-regression check",
+		Columns: []string{"scenario", "runs", "median", "baseline", "floor", "stats", "verdict"},
+	}
+	for _, l := range c.Lines {
+		verdict := "PASS"
+		if !l.Pass {
+			verdict = "FAIL"
+		}
+		statsCell := "ok"
+		if len(l.Mismatches) > 0 {
+			statsCell = fmt.Sprintf("%d mismatch", len(l.Mismatches))
+		} else if l.Note != "" {
+			statsCell = "-"
+		}
+		t.AddRow(l.Scenario,
+			fmt.Sprintf("%d", l.Runs),
+			fmt.Sprintf("%.2f", l.Median),
+			fmt.Sprintf("%.2f", l.Baseline),
+			fmt.Sprintf("%.2f", l.Floor),
+			statsCell,
+			verdict,
+		)
+	}
+	sb.WriteString(t.String())
+	for _, l := range c.Lines {
+		if l.Note != "" {
+			fmt.Fprintf(&sb, "FAIL %s: %s\n", l.Scenario, l.Note)
+		}
+		for _, m := range l.Mismatches {
+			fmt.Fprintf(&sb, "FAIL %s: DETERMINISM VIOLATION %s: %s != %s\n",
+				l.Scenario, m.Path, m.A, m.B)
+		}
+		if l.Note == "" && l.StatsOK && !l.Pass {
+			fmt.Fprintf(&sb, "FAIL %s: median %.2f Mrefs/s below floor %.2f (baseline %.2f)\n",
+				l.Scenario, l.Median, l.Floor, l.Baseline)
+		}
+	}
+	for _, s := range c.UnusedBaselines {
+		fmt.Fprintf(&sb, "FAIL baseline %s: no run matched it — gate did not run\n", s)
+	}
+	if c.OK() {
+		sb.WriteString("all scenarios within tolerance; deterministic stats exact\n")
+	}
+	return sb.String()
+}
+
+// Table renders a replay-throughput table from manifests (one row per
+// scenario), the format docs/eval_snapshot.txt embeds.
+func Table(ms []*obs.Manifest) string {
+	t := &stats.Table{
+		Title:   "Replay throughput (median Mrefs/s)",
+		Columns: []string{"scenario", "mode", "pes", "refs", "Mrefs/s", "runs"},
+	}
+	for _, m := range ms {
+		var refs uint64
+		if m.Stats != nil {
+			refs = m.Stats.Refs
+		}
+		runs := m.Timing.MedianOf
+		if runs == 0 {
+			runs = 1
+		}
+		t.AddRow(scenarioLabel(m),
+			m.Config.Mode,
+			fmt.Sprintf("%d", m.Config.PEs),
+			fmt.Sprintf("%d", refs),
+			fmt.Sprintf("%.2f", m.Timing.MrefsPerSec),
+			fmt.Sprintf("%d", runs),
+		)
+	}
+	return t.String()
+}
+
+// WriteManifest writes m to path (pimreport median -o).
+func WriteManifest(m *obs.Manifest, path string) error {
+	if path == "-" || path == "" {
+		b, err := m.MarshalIndent()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return m.WriteFile(path)
+}

@@ -23,7 +23,14 @@ type Reader struct {
 	n      uint64 // declared ref count
 	read   uint64 // refs decoded so far
 	buf    []byte
+
+	progress func(n int) // optional decode-progress hook (see SetProgress)
 }
+
+// SetProgress installs a hook called after every decoded chunk with the
+// number of references just decoded. Streaming replays use it to feed a
+// heartbeat (obs.Heartbeat.Add); a nil fn disables the hook.
+func (d *Reader) SetProgress(fn func(n int)) { d.progress = fn }
 
 // NewReader reads and validates the stream header, leaving r positioned
 // at the first reference.
@@ -120,6 +127,9 @@ func (d *Reader) Next(dst []Ref) (int, error) {
 		}
 	}
 	d.read += uint64(n)
+	if d.progress != nil {
+		d.progress(n)
+	}
 	if d.read == d.n {
 		return n, io.EOF
 	}
