@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"pimcache/internal/bench"
 	"pimcache/internal/bus"
@@ -44,11 +45,15 @@ func main() {
 		scenario = flag.String("scenario", "", "scenario label recorded in the manifest (pimreport baseline key)")
 	)
 	prof := cliutil.ProfileFlags(flag.CommandLine)
+	run := cliutil.TimeoutFlags(flag.CommandLine)
 	flag.Parse()
 	if err := cliutil.ValidateJobs(*jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "pimbench:", err)
 		os.Exit(2)
 	}
+	ctx, stopSignals := run.Context()
+	defer stopSignals()
+	cliutil.AbortOnDone(ctx, 30*time.Second, os.Stderr)
 	stopProfiles, err := cliutil.StartProfiles(*prof)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimbench:", err)
@@ -66,6 +71,7 @@ func main() {
 	reg := obs.NewRegistry()
 
 	o := bench.DefaultOptions()
+	o.Context = ctx
 	o.Quick = *quick
 	o.Jobs = *jobs
 	o.WarmedSweeps = *warm

@@ -52,6 +52,7 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", 0, "report replay progress on stderr at this interval (0 disables)")
 	)
 	prof := cliutil.ProfileFlags(flag.CommandLine)
+	run := cliutil.TimeoutFlags(flag.CommandLine)
 	flag.Parse()
 
 	if err := cliutil.ValidateBlock(*block); err != nil {
@@ -81,6 +82,9 @@ func main() {
 	ph := obs.NewPhases()
 	reg := obs.NewRegistry()
 	wantManifest := *manifest != ""
+	ctx, stopSignals := run.Context()
+	defer stopSignals()
+	cliutil.AbortOnDone(ctx, 30*time.Second, os.Stderr)
 
 	// The trace streams through the validating decoder during the replay
 	// itself — the reference slice is never materialized, so multi-
@@ -126,18 +130,24 @@ func main() {
 
 	timing := bus.Timing{MemCycles: 8, WidthWords: *width}
 	hb := obs.NewHeartbeat(os.Stderr, "replay", *heartbeat, d.Len()).Start()
+	wd := run.Watchdog("pimprof replay "+flag.Arg(0), ph)
+	defer wd.Stop()
 	d.SetProgress(func(n int) {
 		hb.Add(uint64(n))
 		hb.SetBytes(cr.Bytes())
+		wd.Pet()
 	})
 	t0 := time.Now()
 	var bs bus.Stats
 	var cs cache.Stats
 	var refs int
 	err = ph.Time("replay/probed", func() error {
-		var err error
-		bs, cs, refs, err = bench.ReplayReader(d, ccfg, timing, probe.Multi(sinks...))
-		return err
+		out, err := bench.ReplayReaderResumable(ctx, d, ccfg, timing, probe.Multi(sinks...), bench.CheckpointOptions{}, nil)
+		if err != nil {
+			return err
+		}
+		bs, cs, refs = out.Bus, out.Cache, int(out.Refs)
+		return nil
 	})
 	workSeconds := time.Since(t0).Seconds()
 	hb.Stop()

@@ -31,6 +31,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"pimcache/internal/bench"
 	"pimcache/internal/bench/programs"
@@ -62,7 +63,11 @@ func main() {
 		manifest  = flag.String("manifest", "", "write a structured run manifest (JSON) to this file (single -bench entry)")
 		scenario  = flag.String("scenario", "", "scenario label recorded in the manifest (pimreport baseline key)")
 	)
+	run := cliutil.TimeoutFlags(flag.CommandLine)
 	flag.Parse()
+	ctx, stopSignals := run.Context()
+	defer stopSignals()
+	cliutil.AbortOnDone(ctx, 30*time.Second, os.Stderr)
 
 	man := obs.NewManifest("pimsim")
 	man.Scenario = *scenario
@@ -117,7 +122,7 @@ func main() {
 	// Fan the runs out, but buffer each report and print in list order.
 	reports := make([]strings.Builder, len(benches))
 	results := make([]*bench.RunData, len(benches))
-	pool := par.New(*jobs)
+	pool := par.NewCtx(ctx, *jobs)
 	for i, b := range benches {
 		i, b := i, b
 		pool.Go(func() error {

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pimcache/internal/cache"
 	"pimcache/internal/cliutil"
@@ -30,7 +31,11 @@ func main() {
 	proto := flag.String("protocol", "pim", "pim, illinois, or writethrough")
 	jobs := flag.Int("jobs", 0, "concurrent derivation experiments (0 = all CPU cores)")
 	manifest := flag.String("manifest", "", "write a structured run manifest (JSON) to this file")
+	run := cliutil.TimeoutFlags(flag.CommandLine)
 	flag.Parse()
+	ctx, stopSignals := run.Context()
+	defer stopSignals()
+	cliutil.AbortOnDone(ctx, 30*time.Second, os.Stderr)
 	man := obs.NewManifest("pimtable")
 	ph := obs.NewPhases()
 	if err := cliutil.ValidateJobs(*jobs); err != nil {

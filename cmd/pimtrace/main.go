@@ -7,6 +7,7 @@
 //	pimtrace synth -kind orparallel -o or.trc     # synthetic workload
 //	pimtrace info tri.trc                         # header + op histogram
 //	pimtrace replay -cache 8192 -block 8 tri.trc  # replay vs a config
+//	pimtrace verify tri.trc resume.ckpt run.json  # checksum-validate artifacts
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"hash"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"pimcache/internal/bench"
@@ -24,7 +26,9 @@ import (
 	"pimcache/internal/bus"
 	"pimcache/internal/cache"
 	"pimcache/internal/cliutil"
+	"pimcache/internal/machine"
 	"pimcache/internal/obs"
+	"pimcache/internal/safeio"
 	"pimcache/internal/stats"
 	"pimcache/internal/synth"
 	"pimcache/internal/trace"
@@ -43,13 +47,15 @@ func main() {
 		info(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "verify":
+		verify(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pimtrace {record|synth|info|replay} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pimtrace {record|synth|info|replay|verify} [flags]")
 	os.Exit(2)
 }
 
@@ -162,6 +168,73 @@ func info(args []string) {
 	fmt.Println(t2)
 }
 
+// verify stream-validates artifacts without replaying: traces (both
+// format versions — framing, checksums, every reference), checkpoints
+// (frame, checksum, decodability) and run manifests (JSON + schema).
+// The file type is sniffed from its magic. Exit status 1 with the
+// first bad offset on any damage; success prints one summary line per
+// file.
+func verify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "suppress per-file summaries (errors still print)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fatal(fmt.Errorf("verify: at least one artifact file expected"))
+	}
+	failed := false
+	for _, path := range fs.Args() {
+		line, err := verifyFile(path)
+		if err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "pimtrace: verify %s: %v\n", path, err)
+			continue
+		}
+		if !*quiet {
+			fmt.Printf("%s: %s\n", path, line)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func verifyFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	sniff, err := br.Peek(10)
+	if err != nil && len(sniff) == 0 {
+		return "", fmt.Errorf("reading magic: %w", err)
+	}
+	switch {
+	case strings.HasPrefix(string(sniff), "PIMTRACE"):
+		info, err := trace.Verify(br)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("ok trace v%d: %d refs, %d PEs, %d chunks, %d bytes",
+			info.Version, info.Refs, info.PEs, info.Chunks, info.Bytes), nil
+	case strings.HasPrefix(string(sniff), "PIMCKPT"):
+		s, err := machine.DecodeSnapshot(br)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("ok checkpoint: %d PEs, replay position %d, %d memory words",
+			s.Config.PEs, s.RefsReplayed, len(s.Memory)), nil
+	case len(sniff) > 0 && (sniff[0] == '{' || sniff[0] == ' ' || sniff[0] == '\n'):
+		m, err := obs.ReadManifestFile(path)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("ok manifest: tool %s, schema %d, key %s, stats-key %s",
+			m.Tool, m.Schema, m.Key(), m.StatsKey()), nil
+	}
+	return "", fmt.Errorf("unrecognized artifact (magic %q)", sniff)
+}
+
 func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	size := fs.Int("cache", 4<<10, "cache size in data words")
@@ -176,6 +249,11 @@ func replay(args []string) {
 	manifestPath := fs.String("manifest", "", "write a structured run manifest (JSON) to this file")
 	scenario := fs.String("scenario", "", "scenario label recorded in the manifest (pimreport baseline key)")
 	heartbeat := fs.Duration("heartbeat", 0, "report streaming progress on stderr at this interval (e.g. 10s; 0 disables)")
+	ckptEvery := fs.Uint64("checkpoint-every", 0, "write a durable checkpoint every N replayed references (streaming replay only; 0 disables)")
+	ckptPath := fs.String("checkpoint", "", "checkpoint file for -checkpoint-every and -resume")
+	resume := fs.Bool("resume", false, "resume from the -checkpoint file if it exists (fresh start otherwise)")
+	chaosExitAfter := fs.Int("chaos-exit-after", 0, "exit with status 3 after N checkpoint writes (crash-injection hook for the resume tests; 0 disables)")
+	run := cliutil.TimeoutFlags(fs)
 	prof := cliutil.ProfileFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -187,6 +265,19 @@ func replay(args []string) {
 	if *packed && *shards > 1 {
 		fatal(fmt.Errorf("replay: -packed and -shards are mutually exclusive"))
 	}
+	checkpointing := *ckptEvery > 0 || *resume
+	if checkpointing && (*packed || *shards > 1) {
+		fatal(fmt.Errorf("replay: checkpoint/resume works on the streaming path only (drop -packed/-shards)"))
+	}
+	if checkpointing && *ckptPath == "" {
+		fatal(fmt.Errorf("replay: -checkpoint-every/-resume need -checkpoint <file>"))
+	}
+	if *chaosExitAfter > 0 && *ckptEvery == 0 {
+		fatal(fmt.Errorf("replay: -chaos-exit-after needs -checkpoint-every"))
+	}
+	ctx, stopSignals := run.Context()
+	defer stopSignals()
+	cliutil.AbortOnDone(ctx, 30*time.Second, os.Stderr)
 	ccfg, err := cliutil.BuildCacheConfig(*size, *block, *ways, *optsName, *protocolName)
 	if err != nil {
 		fatal(err)
@@ -265,6 +356,9 @@ func replay(args []string) {
 		cr := &obs.CountingReader{R: f}
 		var src io.Reader = cr
 		if wantManifest {
+			// The resume seek decodes (and so tees) every skipped byte,
+			// so a resumed run's trace digest equals the uninterrupted
+			// run's — their manifests stay comparable.
 			src = io.TeeReader(cr, digest)
 		}
 		d, err := trace.NewReader(bufio.NewReaderSize(src, 1<<20))
@@ -272,16 +366,53 @@ func replay(args []string) {
 			fatal(err)
 		}
 		pes, layoutWords = d.PEs(), uint64(d.Layout().TotalWords())
+
+		// Resume: restore the checkpointed machine and seek, when the
+		// checkpoint file exists; a missing file is a fresh start so one
+		// command line works for both the first attempt and every retry.
+		var snap *machine.Snapshot
+		if *resume {
+			switch s, err := machine.ReadSnapshotFile(*ckptPath); {
+			case err == nil:
+				snap = s
+				mode = "resume"
+				fmt.Fprintf(os.Stderr, "pimtrace: resuming from %s at ref %d\n", *ckptPath, s.RefsReplayed)
+			case os.IsNotExist(err):
+				fmt.Fprintf(os.Stderr, "pimtrace: no checkpoint at %s, starting fresh\n", *ckptPath)
+			default:
+				fatal(err)
+			}
+		}
+
 		hb := obs.NewHeartbeat(os.Stderr, "replay", *heartbeat, d.Len()).Start()
+		wd := run.Watchdog("replay "+fs.Arg(0), ph)
+		defer wd.Stop()
 		chunks := reg.Counter("trace.chunks")
 		d.SetProgress(func(n int) {
 			chunks.Inc()
 			hb.Add(uint64(n))
 			hb.SetBytes(cr.Bytes())
+			wd.Pet()
 		})
+		ckptWrites := reg.Counter("replay.checkpoints")
+		ck := bench.CheckpointOptions{Every: *ckptEvery, Path: *ckptPath}
+		if *ckptEvery > 0 {
+			ck.OnCheckpoint = func(at uint64) error {
+				ckptWrites.Inc()
+				wd.Pet()
+				if *chaosExitAfter > 0 && ckptWrites.Value() >= uint64(*chaosExitAfter) {
+					hb.Stop()
+					fmt.Fprintf(os.Stderr, "pimtrace: chaos exit after %d checkpoints (at ref %d)\n",
+						*chaosExitAfter, at)
+					os.Exit(3)
+				}
+				return nil
+			}
+		}
 		t0 := time.Now()
+		var out *bench.ReplayOutcome
 		err = ph.Time("replay/stream", func() error {
-			bs, cs, refs, err = bench.ReplayReader(d, ccfg, timing, nil)
+			out, err = bench.ReplayReaderResumable(ctx, d, ccfg, timing, nil, ck, snap)
 			return err
 		})
 		workSeconds = time.Since(t0).Seconds()
@@ -289,6 +420,7 @@ func replay(args []string) {
 		if err != nil {
 			fatal(err)
 		}
+		bs, cs, refs = out.Bus, out.Cache, int(out.Refs)
 	}
 	if err := stopProfiles(); err != nil {
 		fatal(err)
@@ -328,12 +460,9 @@ func digestIf(cond bool, h hash.Hash) hash.Hash {
 }
 
 func writeTrace(tr *trace.Trace, path string) {
-	f, err := os.Create(path)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	if err := tr.Write(f); err != nil {
+	// Atomic: a crash mid-write can never leave a torn trace under the
+	// final name.
+	if err := safeio.WriteFile(path, tr.Write); err != nil {
 		fatal(err)
 	}
 }

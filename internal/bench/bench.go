@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -86,6 +87,21 @@ type Options struct {
 	// Metrics, when non-nil, receives simulator self-metrics (replayed
 	// references, jobs run) for the run manifest. Nil disables them.
 	Metrics *obs.Registry
+	// Context, when non-nil, bounds the run: once it is done, pending
+	// jobs are dropped and Collect returns the context's error. Running
+	// simulations finish their current unit first (a live run, or the
+	// current replay), so cancellation is prompt but never leaves a
+	// half-assembled result in Data — Collect either returns a complete
+	// dataset or an error.
+	Context context.Context
+}
+
+// ctx resolves the run context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // DefaultOptions mirrors the paper's evaluation.
@@ -423,8 +439,12 @@ func selectedBenchmarks(o Options) []programs.Benchmark {
 // a time, one configuration at a time, in a fixed order.
 func collectSerial(o Options) (*Data, error) {
 	pw := newProgressLog(o.Progress)
+	ctx := o.ctx()
 	data := &Data{Options: o}
 	for _, b := range selectedBenchmarks(o) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		progress := func(format string, args ...interface{}) {
 			pw.Printf(b.Name, format, args...)
 		}
@@ -441,6 +461,9 @@ func collectSerial(o Options) (*Data, error) {
 		var tr *trace.Trace
 		liveSpan := o.Phases.Start("live/" + b.Name)
 		for _, pes := range o.PESweep {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			progress("live run on %d PEs (scale %d)", pes, scale)
 			record := pes == o.PEs
 			rd, t, err := RunLive(b, scale, pes, o.baseCache(cache.OptionsAll()), record)
@@ -462,6 +485,9 @@ func collectSerial(o Options) (*Data, error) {
 		rep := o.newReplayer(tr.Len())
 		// Table 4 variants.
 		for _, v := range OptVariants {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			progress("replay %s (%d refs)", v.Name, tr.Len())
 			bs, cs, err := rep.Replay(tr, o.baseCache(v.Opts), bus.DefaultTiming())
 			if err != nil {
@@ -473,6 +499,9 @@ func collectSerial(o Options) (*Data, error) {
 		if !o.SkipSweeps {
 			// Figure 1: block sizes.
 			for _, bw := range o.BlockSizes {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				progress("replay block=%d", bw)
 				cfg := o.baseCache(cache.OptionsAll())
 				cfg.BlockWords = bw
@@ -487,6 +516,9 @@ func collectSerial(o Options) (*Data, error) {
 			}
 			// Figure 2: capacities.
 			for _, size := range o.Capacities {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				progress("replay capacity=%d", size)
 				cfg := o.baseCache(cache.OptionsAll())
 				cfg.SizeWords = size
@@ -501,6 +533,9 @@ func collectSerial(o Options) (*Data, error) {
 			}
 			// Associativity ablation (Section 4.3).
 			for _, ways := range o.Associativities {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				progress("replay ways=%d", ways)
 				cfg := o.baseCache(cache.OptionsAll())
 				cfg.Ways = ways
@@ -557,6 +592,7 @@ func mergeDefaults(o Options) Options {
 	d.StatsOnly = o.StatsOnly
 	d.Phases = o.Phases
 	d.Metrics = o.Metrics
+	d.Context = o.Context
 	if o.PESweep != nil {
 		d.PESweep = o.PESweep
 	}

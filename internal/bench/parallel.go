@@ -105,7 +105,7 @@ func collectParallel(o Options) (*Data, error) {
 
 	data := &Data{Options: o}
 	states := make([]*benchState, len(selected))
-	pool := par.New(o.Jobs)
+	pool := par.NewCtx(o.ctx(), o.Jobs)
 	for i, b := range selected {
 		st := &benchState{
 			bench: b,

@@ -1,0 +1,251 @@
+// Package chaos injects deterministic I/O faults into readers and
+// writers, so the toolchain's durability claims are tested instead of
+// asserted. Every fault is a (kind, byte offset) pair: the wrapped
+// stream behaves normally up to the offset and then misbehaves in the
+// chosen way — an injected error, a short read, an early EOF
+// (truncation), a flipped bit (silent corruption), or a torn write
+// that persists a prefix and then dies, as a crash mid-write does.
+//
+// Faults are plain data derived from a seed (Plan), so every failing
+// schedule is reproducible from one integer. The matrix tests in
+// internal/trace and internal/bench drive the artifact formats and
+// the resume path through these wrappers and assert the global
+// robustness property: every injected fault yields a clean labeled
+// error or a bit-identical recovery — never silent corruption, wrong
+// statistics, or a hang.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// ErrInjected is the sentinel wrapped by every injected I/O error;
+// detect it with errors.Is.
+var ErrInjected = errors.New("chaos: injected I/O error")
+
+// ErrKilled is returned by kill-points (see KillAfter): the simulated
+// process death at a chosen execution point.
+var ErrKilled = errors.New("chaos: killed at kill-point")
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+const (
+	// ReadError: Read returns an injected error once the offset is
+	// reached; bytes before the offset are delivered normally.
+	ReadError Kind = iota
+	// ShortRead: the read crossing the offset delivers fewer bytes
+	// than asked, without an error — legal io.Reader behaviour that
+	// chunked decoders must tolerate. One-shot, then the stream is
+	// healthy again.
+	ShortRead
+	// Truncate: the stream ends (io.EOF) at the offset, as a torn
+	// final chunk on disk does.
+	Truncate
+	// FlipBit: one bit of the byte at the offset is flipped, silently.
+	// Checksummed formats must detect this; it is the fault class that
+	// motivates them.
+	FlipBit
+	// WriteError: Write returns an injected error at the offset; the
+	// prefix reaches the underlying writer. The writer stays dead
+	// afterwards.
+	WriteError
+	// TornWrite: like WriteError, modeling a crash mid-write — the
+	// prefix is durable, everything after is lost, and every later
+	// Write fails too.
+	TornWrite
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ReadError:
+		return "read-error"
+	case ShortRead:
+		return "short-read"
+	case Truncate:
+		return "truncate"
+	case FlipBit:
+		return "flip-bit"
+	case WriteError:
+		return "write-error"
+	case TornWrite:
+		return "torn-write"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Fault is one injectable misbehaviour at a byte offset. Bit selects
+// the flipped bit for FlipBit (taken mod 8).
+type Fault struct {
+	Kind   Kind
+	Offset int64
+	Bit    uint8
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%s@%d", f.Kind, f.Offset)
+}
+
+// reads reports whether the fault applies to a reader.
+func (f Fault) reads() bool { return f.Kind <= FlipBit }
+
+// Plan derives one reproducible fault for a stream of size bytes from
+// a seed. Consecutive seeds cover the kind × offset-region space:
+// offsets cluster on the structurally interesting regions (the first
+// bytes, where magics and headers live; chunk-frame granularity in
+// the middle; the final bytes, where torn tails hide) as well as
+// uniform positions. Size 0 streams get offset 0.
+func Plan(seed int64, size int64) Fault {
+	rng := rand.New(rand.NewSource(seed))
+	f := Fault{
+		Kind: Kind(rng.Intn(int(numKinds))),
+		Bit:  uint8(rng.Intn(8)),
+	}
+	if size <= 0 {
+		return f
+	}
+	switch rng.Intn(4) {
+	case 0: // head: magic + header bytes
+		f.Offset = rng.Int63n(min64(48, size))
+	case 1: // tail: torn final chunk territory
+		f.Offset = size - 1 - rng.Int63n(min64(64, size))
+	default: // anywhere
+		f.Offset = rng.Int63n(size)
+	}
+	if f.Offset < 0 {
+		f.Offset = 0
+	}
+	return f
+}
+
+// PlanReads is Plan restricted to reader faults — for matrices that
+// exercise a decode path only.
+func PlanReads(seed int64, size int64) Fault {
+	f := Plan(seed, size)
+	f.Kind = Kind(uint8(f.Kind) % uint8(FlipBit+1))
+	return f
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// KillAfter returns a kill-point: a function that succeeds n-1 times
+// and returns ErrKilled on the nth call. Wire it into a checkpoint
+// hook to simulate a process dying right after (or between) durable
+// checkpoints.
+func KillAfter(n int) func() error {
+	calls := 0
+	return func() error {
+		calls++
+		if calls >= n {
+			return fmt.Errorf("%w (call %d)", ErrKilled, calls)
+		}
+		return nil
+	}
+}
+
+// Reader wraps r, injecting f. The zero Fault (ReadError at offset 0)
+// fails the first read.
+type Reader struct {
+	r     io.Reader
+	f     Fault
+	off   int64
+	armed bool // one-shot faults (ShortRead) disarm after firing
+}
+
+// NewReader wraps r with fault f; f must be a reader-side kind.
+func NewReader(r io.Reader, f Fault) *Reader {
+	if !f.reads() {
+		panic(fmt.Sprintf("chaos: %s is not a reader fault", f.Kind))
+	}
+	return &Reader{r: r, f: f, armed: true}
+}
+
+func (c *Reader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return c.r.Read(p)
+	}
+	rem := c.f.Offset - c.off // bytes until the fault site
+	switch c.f.Kind {
+	case ReadError:
+		if rem <= 0 {
+			return 0, fmt.Errorf("%w (read at byte offset %d)", ErrInjected, c.off)
+		}
+		if int64(len(p)) > rem {
+			p = p[:rem]
+		}
+	case Truncate:
+		if rem <= 0 {
+			return 0, io.EOF
+		}
+		if int64(len(p)) > rem {
+			p = p[:rem]
+		}
+	case ShortRead:
+		if c.armed && rem <= 0 {
+			// The read that would cross (or start at) the offset
+			// delivers a single byte.
+			c.armed = false
+			p = p[:1]
+		}
+	}
+	n, err := c.r.Read(p)
+	if c.f.Kind == FlipBit && c.armed {
+		if i := c.f.Offset - c.off; i >= 0 && i < int64(n) {
+			p[i] ^= 1 << (c.f.Bit % 8)
+			c.armed = false
+		}
+	}
+	c.off += int64(n)
+	return n, err
+}
+
+// Writer wraps w, injecting f. Once the fault fires, every later
+// Write fails too — a dead process does not come back.
+type Writer struct {
+	w    io.Writer
+	f    Fault
+	off  int64
+	dead bool
+}
+
+// NewWriter wraps w with fault f; f must be a writer-side kind.
+func NewWriter(w io.Writer, f Fault) *Writer {
+	if f.reads() {
+		panic(fmt.Sprintf("chaos: %s is not a writer fault", f.Kind))
+	}
+	return &Writer{w: w, f: f}
+}
+
+func (c *Writer) Write(p []byte) (int, error) {
+	if c.dead {
+		return 0, fmt.Errorf("%w (write after fault, byte offset %d)", ErrInjected, c.off)
+	}
+	rem := c.f.Offset - c.off
+	if rem >= int64(len(p)) {
+		n, err := c.w.Write(p)
+		c.off += int64(n)
+		return n, err
+	}
+	// The fault fires inside this write: persist the prefix (a torn
+	// write's durable half), then die.
+	c.dead = true
+	n := 0
+	if rem > 0 {
+		var err error
+		n, err = c.w.Write(p[:rem])
+		c.off += int64(n)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, fmt.Errorf("%w (%s at byte offset %d)", ErrInjected, c.f.Kind, c.f.Offset)
+}

@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func payload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func TestReadErrorAtOffset(t *testing.T) {
+	src := payload(100)
+	r := NewReader(bytes.NewReader(src), Fault{Kind: ReadError, Offset: 37})
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error %v, want ErrInjected", err)
+	}
+	if !bytes.Equal(got, src[:37]) {
+		t.Fatalf("delivered %d bytes before the fault, want exactly 37 clean ones", len(got))
+	}
+}
+
+func TestTruncateAtOffset(t *testing.T) {
+	src := payload(100)
+	r := NewReader(bytes.NewReader(src), Fault{Kind: Truncate, Offset: 64})
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("truncation must look like clean EOF to ReadAll, got %v", err)
+	}
+	if !bytes.Equal(got, src[:64]) {
+		t.Fatalf("got %d bytes, want the 64-byte prefix", len(got))
+	}
+}
+
+func TestShortReadDeliversEverythingEventually(t *testing.T) {
+	src := payload(100)
+	r := NewReader(bytes.NewReader(src), Fault{Kind: ShortRead, Offset: 10})
+	// The read crossing offset 10 is cut short, but retries (as
+	// io.ReadFull issues) must still drain the whole stream intact.
+	got := make([]byte, 100)
+	if _, err := io.ReadFull(r, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("short read corrupted the stream")
+	}
+}
+
+func TestFlipBitFlipsExactlyOne(t *testing.T) {
+	src := payload(100)
+	r := NewReader(bytes.NewReader(src), Fault{Kind: FlipBit, Offset: 50, Bit: 3})
+	got, err := io.ReadAll(r)
+	if err != nil || len(got) != 100 {
+		t.Fatalf("read: %v (%d bytes)", err, len(got))
+	}
+	for i := range got {
+		want := src[i]
+		if i == 50 {
+			want ^= 1 << 3
+		}
+		if got[i] != want {
+			t.Fatalf("byte %d: got %#x want %#x", i, got[i], want)
+		}
+	}
+}
+
+func TestTornWritePersistsPrefixThenDies(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, Fault{Kind: TornWrite, Offset: 10})
+	n, err := w.Write(payload(6))
+	if n != 6 || err != nil {
+		t.Fatalf("pre-fault write: n=%d err=%v", n, err)
+	}
+	n, err = w.Write(payload(6))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write: err=%v, want ErrInjected", err)
+	}
+	if n != 4 {
+		t.Fatalf("crossing write persisted %d bytes, want the 4-byte prefix", n)
+	}
+	if sink.Len() != 10 {
+		t.Fatalf("sink has %d bytes, want exactly 10 (the torn prefix)", sink.Len())
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after death: %v, want ErrInjected", err)
+	}
+}
+
+func TestPlanDeterministicAndInBounds(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		a, b := Plan(seed, 1000), Plan(seed, 1000)
+		if a != b {
+			t.Fatalf("seed %d: plan not deterministic: %v vs %v", seed, a, b)
+		}
+		if a.Offset < 0 || a.Offset >= 1000 {
+			t.Fatalf("seed %d: offset %d out of [0,1000)", seed, a.Offset)
+		}
+		r := PlanReads(seed, 1000)
+		if r.Kind > FlipBit {
+			t.Fatalf("seed %d: PlanReads produced writer fault %v", seed, r)
+		}
+	}
+}
+
+func TestKillAfter(t *testing.T) {
+	kp := KillAfter(3)
+	for i := 0; i < 2; i++ {
+		if err := kp(); err != nil {
+			t.Fatalf("call %d: %v", i+1, err)
+		}
+	}
+	if err := kp(); !errors.Is(err, ErrKilled) {
+		t.Fatalf("third call: %v, want ErrKilled", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"pimcache/internal/bus"
 	"pimcache/internal/cache"
+	"pimcache/internal/safeio"
 )
 
 // SchemaVersion is the manifest schema this package writes.
@@ -308,13 +309,15 @@ func (m *Manifest) MarshalIndent() ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// WriteFile writes the manifest to path.
+// WriteFile writes the manifest to path atomically (temp + fsync +
+// rename): a crash mid-write never leaves a torn manifest for a later
+// gate to choke on.
 func (m *Manifest) WriteFile(path string) error {
 	b, err := m.MarshalIndent()
 	if err != nil {
 		return fmt.Errorf("manifest: %w", err)
 	}
-	if err := os.WriteFile(path, b, 0o644); err != nil {
+	if err := safeio.WriteFileBytes(path, b); err != nil {
 		return fmt.Errorf("manifest: %w", err)
 	}
 	return nil

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer serializes writes so the watchdog goroutine and the test
+// can share it under -race.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestWatchdogDumpsOnStall: no progress for a full window → exactly
+// one dump containing the label, the phase timers and a stack trace;
+// progress resuming re-arms it.
+func TestWatchdogDumpsOnStall(t *testing.T) {
+	var buf syncBuffer
+	ph := NewPhases()
+	sp := ph.Start("replay/test")
+	sp.End()
+	d := NewWatchdog(&buf, "replay", 40*time.Millisecond, ph).Start()
+	defer d.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Dumps() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d.Dumps() != 1 {
+		t.Fatalf("dumps = %d, want 1", d.Dumps())
+	}
+	out := buf.String()
+	for _, want := range []string{"replay stalled", "replay/test", "goroutine"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump lacks %q:\n%s", want, out)
+		}
+	}
+
+	// One stall episode → one dump, even well past the window.
+	time.Sleep(100 * time.Millisecond)
+	if d.Dumps() != 1 {
+		t.Fatalf("dumps = %d after continued stall, want still 1", d.Dumps())
+	}
+
+	// Progress re-arms; a second stall dumps again.
+	d.Pet()
+	deadline = time.Now().Add(5 * time.Second)
+	for d.Dumps() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d.Dumps() != 2 {
+		t.Fatalf("dumps = %d after re-arm and second stall, want 2", d.Dumps())
+	}
+}
+
+// TestWatchdogQuietWhileProgressing: steady Pets → no dump.
+func TestWatchdogQuietWhileProgressing(t *testing.T) {
+	var buf syncBuffer
+	d := NewWatchdog(&buf, "replay", 60*time.Millisecond, nil).Start()
+	for i := 0; i < 20; i++ {
+		d.Pet()
+		time.Sleep(10 * time.Millisecond)
+	}
+	d.Stop()
+	if d.Dumps() != 0 {
+		t.Fatalf("dumps = %d under steady progress, want 0\n%s", d.Dumps(), buf.String())
+	}
+}
+
+// TestWatchdogNil: the disabled watchdog is fully inert.
+func TestWatchdogNil(t *testing.T) {
+	var d *Watchdog
+	d = d.Start()
+	d.Pet()
+	if d.Dumps() != 0 {
+		t.Fatal("nil watchdog dumped")
+	}
+	d.Stop()
+	if NewWatchdog(nil, "x", time.Second, nil) != nil {
+		t.Fatal("nil writer must disable the watchdog")
+	}
+	if NewWatchdog(&syncBuffer{}, "x", 0, nil) != nil {
+		t.Fatal("zero stall must disable the watchdog")
+	}
+}

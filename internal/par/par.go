@@ -13,6 +13,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -26,10 +27,11 @@ func Jobs(n int) int {
 }
 
 // Pool runs submitted tasks with at most a fixed number executing at
-// once. The zero value is not usable; call New.
+// once. The zero value is not usable; call New or NewCtx.
 type Pool struct {
 	sem chan struct{}
 	wg  sync.WaitGroup
+	ctx context.Context
 
 	mu       sync.Mutex
 	err      error
@@ -38,17 +40,36 @@ type Pool struct {
 
 // New returns a pool executing at most Jobs(jobs) tasks concurrently.
 func New(jobs int) *Pool {
-	return &Pool{sem: make(chan struct{}, Jobs(jobs))}
+	return NewCtx(context.Background(), jobs)
+}
+
+// NewCtx is New bound to a context: once ctx is done, tasks that have
+// not yet started are dropped without running, and Wait returns
+// ctx.Err() (unless a task failed first). Running tasks are not
+// interrupted — simulations check the context themselves at their own
+// safe points.
+func NewCtx(ctx context.Context, jobs int) *Pool {
+	return &Pool{sem: make(chan struct{}, Jobs(jobs)), ctx: ctx}
 }
 
 // Go submits a task. It never blocks; the task waits for a free worker
-// slot. Tasks submitted after a failure (or Cancel) are dropped.
+// slot. Tasks submitted after a failure, a Cancel, or context
+// cancellation are dropped.
 func (p *Pool) Go(task func() error) {
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
+		if err := p.ctx.Err(); err != nil {
+			p.mu.Lock()
+			if p.err == nil {
+				p.err = err
+			}
+			p.canceled = true
+			p.mu.Unlock()
+			return
+		}
 		p.mu.Lock()
 		dead := p.canceled
 		p.mu.Unlock()

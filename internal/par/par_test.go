@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -108,5 +109,37 @@ func TestPoolCancelDropsPending(t *testing.T) {
 	}
 	if ran.Load() != 0 {
 		t.Errorf("%d pending tasks ran after Cancel", ran.Load())
+	}
+}
+
+func TestPoolCtxCancelDropsPendingAndReportsErr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewCtx(ctx, 1)
+	release := make(chan struct{})
+	var ran atomic.Int64
+	p.Go(func() error { <-release; return nil })
+	for i := 0; i < 10; i++ {
+		p.Go(func() error { ran.Add(1); return nil })
+	}
+	cancel()
+	close(release)
+	if err := p.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d pending tasks ran after context cancellation", ran.Load())
+	}
+}
+
+func TestPoolCtxTaskErrorWins(t *testing.T) {
+	// A task failure before cancellation is the error Wait reports,
+	// not the later context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := NewCtx(ctx, 2)
+	boom := errors.New("boom")
+	p.Go(func() error { return boom })
+	if err := p.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
 	}
 }

@@ -1,0 +1,64 @@
+package safeio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifact.bin")
+	if err := WriteFileBytes(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "one" {
+		t.Fatalf("content %q, want %q", got, "one")
+	}
+	if err := WriteFileBytes(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "two" {
+		t.Fatalf("content %q, want %q", got, "two")
+	}
+}
+
+// TestWriteFileFailureLeavesOldContent is the durability contract: a
+// failed write must leave the previous file byte-identical and must
+// not leak its temporary sibling.
+func TestWriteFileFailureLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.bin")
+	if err := WriteFileBytes(path, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("torn write")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "half-writ") // partial content that must never surface
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v, want wrapped %v", err, boom)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "durable" {
+		t.Fatalf("old content clobbered: %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leaked temp file %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFileBytes(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"))
+	if err == nil {
+		t.Fatal("want error for missing directory")
+	}
+}

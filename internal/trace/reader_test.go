@@ -13,11 +13,23 @@ import (
 	"pimcache/internal/mem"
 )
 
-// encodeTrace serializes tr and returns the raw bytes for mutation.
+// encodeTrace serializes tr in the current format (v3) and returns the
+// raw bytes for mutation.
 func encodeTrace(t *testing.T, tr *Trace) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// encodeTraceV2 serializes tr in the legacy flat format, whose fixed
+// byte layout the offset-poking corruption tests rely on.
+func encodeTraceV2(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteVersion(&buf, 2); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -70,10 +82,12 @@ func smallTrace() *Trace {
 
 // TestReaderRejectsCorruptHeader covers the header validations: a PE
 // count of zero or above the bus limit, and a layout wider than the
-// 32-bit address space.
+// 32-bit address space. The pokes target the unchecksummed v2 layout;
+// the same pokes on v3 are caught earlier by the header CRC (see
+// TestV3HeaderChecksum).
 func TestReaderRejectsCorruptHeader(t *testing.T) {
-	base := encodeTrace(t, smallTrace())
-	hdr := len(magic)
+	base := encodeTraceV2(t, smallTrace())
+	hdr := len(magicV2)
 
 	zeroPE := append([]byte(nil), base...)
 	binary.LittleEndian.PutUint32(zeroPE[hdr:], 0)
@@ -93,8 +107,8 @@ func TestReaderRejectsCorruptHeader(t *testing.T) {
 // TestReaderRejectsCorruptRefs covers the per-reference validations: a
 // PE byte at or above the header's count, and an unknown op byte.
 func TestReaderRejectsCorruptRefs(t *testing.T) {
-	base := encodeTrace(t, smallTrace())
-	ref0 := len(magic) + 32 // first reference: [PE, op, addr x4]
+	base := encodeTraceV2(t, smallTrace())
+	ref0 := len(magicV2) + headerBytes // first reference: [PE, op, addr x4]
 
 	badPE := append([]byte(nil), base...)
 	badPE[ref0] = 9 // header says 4 PEs
@@ -110,17 +124,239 @@ func TestReaderRejectsCorruptRefs(t *testing.T) {
 // truncation error without first attempting a multi-terabyte
 // allocation.
 func TestReadHugeDeclaredCount(t *testing.T) {
-	base := encodeTrace(t, smallTrace())
+	base := encodeTraceV2(t, smallTrace())
 	raw := append([]byte(nil), base...)
-	binary.LittleEndian.PutUint64(raw[len(magic)+24:], 1<<40)
+	binary.LittleEndian.PutUint64(raw[len(magicV2)+24:], 1<<40)
 	readErr(t, "huge count", raw, "truncated")
 }
 
-// TestReaderTruncatedMidStream checks the streaming decoder reports the
-// cut position instead of returning a short stream.
+// TestReaderTruncatedMidStream checks both decoders report the cut
+// position instead of returning a short stream, in both formats.
 func TestReaderTruncatedMidStream(t *testing.T) {
+	rawV2 := encodeTraceV2(t, smallTrace())
+	readErr(t, "v2 truncated", rawV2[:len(rawV2)-5], "torn final reference")
+	readErr(t, "v2 truncated at ref boundary", rawV2[:len(rawV2)-2*refBytes], "truncated at byte offset")
+
+	rawV3 := encodeTrace(t, smallTrace())
+	readErr(t, "v3 torn payload", rawV3[:len(rawV3)-5], "torn chunk")
+	readErr(t, "v3 missing chunk", rawV3[:len(magicV3)+headerBytes+4], "next chunk missing")
+	readErr(t, "v3 torn frame", rawV3[:len(magicV3)+headerBytes+4+3], "torn chunk frame")
+}
+
+// TestV3HeaderChecksum pins the v3 header CRC: any header mutation is
+// caught before its fields are even interpreted.
+func TestV3HeaderChecksum(t *testing.T) {
 	raw := encodeTrace(t, smallTrace())
-	readErr(t, "truncated", raw[:len(raw)-5], "truncated")
+	for _, off := range []int{0, 4, 24, 31} {
+		bad := append([]byte(nil), raw...)
+		bad[len(magicV3)+off] ^= 0x01
+		readErr(t, "header bit flip", bad, "header checksum mismatch")
+	}
+}
+
+// TestV3ChunkChecksum is the fault class that motivates v3: a single
+// flipped bit anywhere in a chunk payload — even in an address byte a
+// v2 decoder would swallow silently — must fail with a checksum error
+// naming the byte offset.
+func TestV3ChunkChecksum(t *testing.T) {
+	raw := encodeTrace(t, largeSyntheticTrace(refsPerChunk+200))
+	body := len(magicV3) + headerBytes + 4
+	for _, off := range []int{
+		body + frameBytes + 2,            // address byte, first ref, first chunk
+		body + frameBytes + refBytes*100, // PE byte mid-chunk
+		len(raw) - 1,                     // final byte of final chunk
+		body + frameBytes + refBytes*refsPerChunk + frameBytes, // first byte of second chunk
+	} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x10
+		readErr(t, "payload bit flip", bad, "checksum mismatch")
+	}
+	// A flipped frame: either the length check or the CRC catches it.
+	badFrame := append([]byte(nil), raw...)
+	badFrame[body] ^= 0x40
+	readErr(t, "frame bit flip", badFrame, "chunk")
+}
+
+// TestV3RejectsOversizedChunk covers the frame-length validations: a
+// length that is zero, not a multiple of the ref size, beyond the
+// chunk cap, or larger than the refs remaining in the stream.
+func TestV3RejectsOversizedChunk(t *testing.T) {
+	raw := encodeTrace(t, smallTrace())
+	frame := len(magicV3) + headerBytes + 4
+	for _, plen := range []uint32{0, 7, refBytes*refsPerChunk + refBytes, refBytes * 101} {
+		bad := append([]byte(nil), raw...)
+		binary.LittleEndian.PutUint32(bad[frame:], plen)
+		readErr(t, "bad frame length", bad, "corrupt chunk frame")
+	}
+}
+
+// TestBothVersionsRoundTrip pins that every written version reads back
+// identically and reports its version.
+func TestBothVersionsRoundTrip(t *testing.T) {
+	tr := largeSyntheticTrace(refsPerChunk*2 + 33)
+	for _, version := range []int{2, 3} {
+		var buf bytes.Buffer
+		if err := tr.WriteVersion(&buf, version); err != nil {
+			t.Fatalf("v%d Write: %v", version, err)
+		}
+		d, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("v%d NewReader: %v", version, err)
+		}
+		if d.Version() != version {
+			t.Errorf("Version() = %d, want %d", d.Version(), version)
+		}
+		got, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("v%d Read: %v", version, err)
+		}
+		if got.PEs != tr.PEs || got.Len() != tr.Len() || got.Layout != tr.Layout {
+			t.Fatalf("v%d header mismatch: %d/%d %+v", version, got.PEs, got.Len(), got.Layout)
+		}
+		for i := range tr.Refs {
+			if got.Refs[i] != tr.Refs[i] {
+				t.Fatalf("v%d ref %d: %+v != %+v", version, i, got.Refs[i], tr.Refs[i])
+			}
+		}
+	}
+}
+
+// TestReaderSmallDst checks Next with a destination smaller than a
+// chunk: the v3 pending buffer must deliver every ref exactly once.
+func TestReaderSmallDst(t *testing.T) {
+	tr := largeSyntheticTrace(refsPerChunk + 77)
+	for _, version := range []int{2, 3} {
+		var buf bytes.Buffer
+		if err := tr.WriteVersion(&buf, version); err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Ref
+		dst := make([]Ref, 100) // not a divisor of refsPerChunk
+		for {
+			n, err := d.Next(dst)
+			got = append(got, dst[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("v%d Next: %v", version, err)
+			}
+		}
+		if len(got) != tr.Len() {
+			t.Fatalf("v%d delivered %d refs, want %d", version, len(got), tr.Len())
+		}
+		for i := range got {
+			if got[i] != tr.Refs[i] {
+				t.Fatalf("v%d ref %d: %+v != %+v", version, i, got[i], tr.Refs[i])
+			}
+		}
+	}
+}
+
+// TestSkipTo pins the resume seek: skipping to an arbitrary position
+// delivers exactly the suffix, skipped chunks are still CRC-verified,
+// and rewinds or beyond-count targets are rejected.
+func TestSkipTo(t *testing.T) {
+	tr := largeSyntheticTrace(refsPerChunk*2 + 50)
+	raw := encodeTrace(t, tr)
+	for _, target := range []uint64{0, 1, 100, refsPerChunk, refsPerChunk + 1, uint64(tr.Len()) - 1, uint64(tr.Len())} {
+		d, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SkipTo(target); err != nil {
+			t.Fatalf("SkipTo(%d): %v", target, err)
+		}
+		if d.Replayed() != target {
+			t.Fatalf("SkipTo(%d): Replayed() = %d", target, d.Replayed())
+		}
+		var got []Ref
+		dst := make([]Ref, 333)
+		for {
+			n, err := d.Next(dst)
+			got = append(got, dst[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("SkipTo(%d) then Next: %v", target, err)
+			}
+		}
+		want := tr.Refs[target:]
+		if len(got) != len(want) {
+			t.Fatalf("SkipTo(%d): %d refs after skip, want %d", target, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("SkipTo(%d): ref %d: %+v != %+v", target, i, got[i], want[i])
+			}
+		}
+	}
+
+	d, _ := NewReader(bytes.NewReader(raw))
+	if err := d.SkipTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SkipTo(5); err == nil || !strings.Contains(err.Error(), "rewind") {
+		t.Errorf("rewind accepted: %v", err)
+	}
+	if err := d.SkipTo(uint64(tr.Len()) + 1); err == nil || !strings.Contains(err.Error(), "beyond") {
+		t.Errorf("beyond-count skip accepted: %v", err)
+	}
+}
+
+// TestSkipToDetectsCorruption: a resume seek must not glide over
+// damage in the skipped region.
+func TestSkipToDetectsCorruption(t *testing.T) {
+	raw := encodeTrace(t, largeSyntheticTrace(refsPerChunk*2))
+	bad := append([]byte(nil), raw...)
+	bad[len(magicV3)+headerBytes+4+frameBytes+10] ^= 0x04 // inside chunk 0
+	d, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.SkipTo(refsPerChunk + 5) // target inside chunk 1
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Errorf("SkipTo over corrupt chunk: %v, want checksum mismatch", err)
+	}
+}
+
+// TestVerify pins the stream validator: a clean stream yields its
+// summary, a corrupt one the same offset-labeled error a replay gets.
+func TestVerify(t *testing.T) {
+	tr := largeSyntheticTrace(refsPerChunk + 9)
+	raw := encodeTrace(t, tr)
+	info, err := Verify(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Verify clean stream: %v", err)
+	}
+	if info.Version != 3 || info.PEs != tr.PEs || info.Refs != uint64(tr.Len()) || info.Chunks != 2 || info.Bytes != int64(len(raw)) {
+		t.Errorf("VerifyInfo %+v (stream: %d refs, %d bytes)", info, tr.Len(), len(raw))
+	}
+
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-3] ^= 0x80
+	if _, err := Verify(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Errorf("Verify corrupt stream: %v", err)
+	}
+
+	torn := raw[:len(raw)-4]
+	if _, err := Verify(bytes.NewReader(torn)); err == nil || !strings.Contains(err.Error(), "torn chunk") {
+		t.Errorf("Verify torn stream: %v", err)
+	}
+
+	v2 := encodeTraceV2(t, tr)
+	info, err = Verify(bytes.NewReader(v2))
+	if err != nil {
+		t.Fatalf("Verify v2 stream: %v", err)
+	}
+	if info.Version != 2 || info.Refs != uint64(tr.Len()) {
+		t.Errorf("v2 VerifyInfo %+v", info)
+	}
 }
 
 // TestReaderHeader checks the streaming decoder surfaces the header

@@ -14,6 +14,7 @@ package trace
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"pimcache/internal/cache"
@@ -254,15 +255,48 @@ func replayGenericRefs(refs []Ref, ports []mem.Accessor, base int) error {
 
 // --- serialization ---
 
-const magic = "PIMTRACE2\n"
+// The on-disk trace format is versioned by its magic string:
+//
+//	PIMTRACE2: magic, 32-byte header, then a flat run of 6-byte refs.
+//	           No checksums — a flipped bit in an address is invisible.
+//	PIMTRACE3: magic, 32-byte header, 4-byte CRC32C of the header, then
+//	           CRC32C-framed chunks: each chunk is an 8-byte frame
+//	           (payload length, payload CRC32C) followed by up to
+//	           refsPerChunk refs of payload. Any torn tail, flipped bit
+//	           or mangled frame is detected with a byte-offset-labeled
+//	           error before a single corrupt reference reaches a replay.
+//
+// Write produces version 3; Read/NewReader accept both.
+const (
+	magicV2 = "PIMTRACE2\n"
+	magicV3 = "PIMTRACE3\n"
+	// magicLen is shared by both versions (and by checkpoints' sniffing).
+	magicLen = len(magicV3)
+)
+
+// FormatVersion is the trace format Write produces.
+const FormatVersion = 3
 
 // refBytes is the on-disk size of one reference: PE, op, and four
 // little-endian address bytes.
 const refBytes = 6
 
-// refsPerChunk sizes the serialization buffers: one Write/Read syscall
-// moves up to this many references.
+// refsPerChunk sizes the serialization buffers and the v3 chunk
+// framing: one Write/Read syscall moves up to this many references,
+// and one CRC covers at most this much payload.
 const refsPerChunk = 4096
+
+// frameBytes is the v3 per-chunk frame: u32 payload length, u32
+// CRC32C of the payload.
+const frameBytes = 8
+
+// headerBytes is the fixed header after the magic (PE count, layout,
+// ref count).
+const headerBytes = 32
+
+// castagnoli is the CRC32C polynomial table — hardware-accelerated on
+// the platforms the replay host runs on.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // addrEncodable reports whether a fits in the four address bytes of the
 // on-disk ref format. word.Addr is currently 32 bits wide, so every value
@@ -270,15 +304,9 @@ const refsPerChunk = 4096
 // type can never silently truncate traces on disk.
 func addrEncodable(a uint64) bool { return a <= 0xFFFFFFFF }
 
-// Write serializes the trace: a magic header, the PE count, the memory
-// layout, the ref count, then 6 bytes per reference. It fails — rather
-// than corrupt the stream — if any address exceeds the 32-bit on-disk
-// format.
-func (t *Trace) Write(w io.Writer) error {
-	if _, err := io.WriteString(w, magic); err != nil {
-		return err
-	}
-	hdr := make([]byte, 32)
+// header assembles the fixed 32-byte header shared by both versions.
+func (t *Trace) header() []byte {
+	hdr := make([]byte, headerBytes)
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(t.PEs))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(t.Layout.InstWords))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(t.Layout.HeapWords))
@@ -286,22 +314,95 @@ func (t *Trace) Write(w io.Writer) error {
 	binary.LittleEndian.PutUint32(hdr[16:], uint32(t.Layout.SuspWords))
 	binary.LittleEndian.PutUint32(hdr[20:], uint32(t.Layout.CommWords))
 	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(t.Refs)))
-	if _, err := w.Write(hdr); err != nil {
+	return hdr
+}
+
+// encodeRef appends one reference's 6 on-disk bytes to buf.
+func encodeRef(buf []byte, ref *Ref) []byte {
+	return append(buf, ref.PE, uint8(ref.Op),
+		byte(ref.Addr), byte(ref.Addr>>8), byte(ref.Addr>>16), byte(ref.Addr>>24))
+}
+
+// Write serializes the trace in the current format (version 3:
+// checksummed chunk framing). It fails — rather than corrupt the
+// stream — if any address exceeds the 32-bit on-disk format.
+func (t *Trace) Write(w io.Writer) error {
+	return t.WriteVersion(w, FormatVersion)
+}
+
+// WriteVersion serializes the trace in an explicit format version.
+// Version 2 exists for compatibility tests and for producing streams
+// older builds can read; everything else should use Write.
+func (t *Trace) WriteVersion(w io.Writer, version int) error {
+	switch version {
+	case 2:
+		return t.writeV2(w)
+	case 3:
+		return t.writeV3(w)
+	}
+	return fmt.Errorf("trace: unknown format version %d", version)
+}
+
+func (t *Trace) writeV2(w io.Writer) error {
+	if _, err := io.WriteString(w, magicV2); err != nil {
+		return err
+	}
+	if _, err := w.Write(t.header()); err != nil {
 		return err
 	}
 	buf := make([]byte, 0, refBytes*refsPerChunk)
-	for i, ref := range t.Refs {
+	for i := range t.Refs {
+		ref := &t.Refs[i]
 		if !addrEncodable(uint64(ref.Addr)) {
 			return fmt.Errorf("trace: ref %d: address %#x exceeds the 32-bit on-disk format", i, uint64(ref.Addr))
 		}
-		buf = append(buf, ref.PE, uint8(ref.Op),
-			byte(ref.Addr), byte(ref.Addr>>8), byte(ref.Addr>>16), byte(ref.Addr>>24))
+		buf = encodeRef(buf, ref)
 		if len(buf) == cap(buf) || i == len(t.Refs)-1 {
 			if _, err := w.Write(buf); err != nil {
 				return err
 			}
 			buf = buf[:0]
 		}
+	}
+	return nil
+}
+
+func (t *Trace) writeV3(w io.Writer) error {
+	if _, err := io.WriteString(w, magicV3); err != nil {
+		return err
+	}
+	hdr := t.header()
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.Checksum(hdr, castagnoli))
+	if _, err := w.Write(crcb[:]); err != nil {
+		return err
+	}
+	// Each chunk is framed and written in one call: frame header in
+	// buf[:frameBytes], payload after it.
+	buf := make([]byte, frameBytes, frameBytes+refBytes*refsPerChunk)
+	for i := 0; i < len(t.Refs); {
+		k := len(t.Refs) - i
+		if k > refsPerChunk {
+			k = refsPerChunk
+		}
+		buf = buf[:frameBytes]
+		for j := i; j < i+k; j++ {
+			ref := &t.Refs[j]
+			if !addrEncodable(uint64(ref.Addr)) {
+				return fmt.Errorf("trace: ref %d: address %#x exceeds the 32-bit on-disk format", j, uint64(ref.Addr))
+			}
+			buf = encodeRef(buf, ref)
+		}
+		payload := buf[frameBytes:]
+		binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		i += k
 	}
 	return nil
 }
