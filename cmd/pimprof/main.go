@@ -40,7 +40,7 @@ func main() {
 		block     = flag.Int("block", 4, "cache block size in words")
 		ways      = flag.Int("ways", 4, "set associativity")
 		optsName  = flag.String("opts", "all", "optimized commands: none, heap, goal, comm, all")
-		protocol  = flag.String("protocol", "pim", "coherence protocol: pim, illinois, writethrough")
+		protocol  = flag.String("protocol", "pim", cliutil.ProtocolFlagHelp())
 		width     = flag.Int("buswidth", 1, "bus width in words")
 		events    = flag.String("events", "", "write a Perfetto trace-event JSON timeline to this file")
 		intervals = flag.Uint64("intervals", 0, "print interval metrics every N simulated cycles")

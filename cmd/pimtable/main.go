@@ -8,6 +8,7 @@
 //
 //	pimtable                  # PIM protocol
 //	pimtable -protocol illinois
+//	pimtable -protocol all    # every registered protocol (the ablation)
 //	pimtable -jobs 1          # derive serially
 //
 // Each transition is derived by an independent two-cache experiment, so
@@ -20,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"pimcache/internal/cache"
@@ -27,8 +29,30 @@ import (
 	"pimcache/internal/obs"
 )
 
+// renderAll renders the transition-table ablation: one section per
+// registered protocol, in registry (enum) order, so a protocol added to
+// the cache package automatically appears here. ph gets one derivation
+// phase per protocol for the manifest timing breakdown.
+func renderAll(ph *obs.Phases, jobs int) (string, int) {
+	var sb strings.Builder
+	total := 0
+	for i, p := range cache.Protocols() {
+		sp := ph.Start("derive/" + p.Name())
+		rows := cache.DeriveTransitionsJobs(p.ID(), jobs)
+		sp.End()
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		fmt.Fprintf(&sb, "%s protocol: %d derived transitions\n", p.Name(), len(rows))
+		sb.WriteString(cache.FormatTransitions(rows))
+		total += len(rows)
+	}
+	return sb.String(), total
+}
+
 func main() {
-	proto := flag.String("protocol", "pim", "pim, illinois, or writethrough")
+	proto := flag.String("protocol", "pim",
+		cliutil.ProtocolFlagHelp()+"; or 'all' for every registered protocol")
 	jobs := flag.Int("jobs", 0, "concurrent derivation experiments (0 = all CPU cores)")
 	manifest := flag.String("manifest", "", "write a structured run manifest (JSON) to this file")
 	run := cliutil.TimeoutFlags(flag.CommandLine)
@@ -42,28 +66,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pimtable:", err)
 		os.Exit(2)
 	}
-	p, err := cliutil.ParseProtocol(*proto)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pimtable:", err)
-		os.Exit(2)
+	var table string
+	var transitions int
+	if *proto == "all" {
+		table, transitions = renderAll(ph, *jobs)
+		fmt.Printf("transition-table ablation: %d registered protocols, %d transitions\n",
+			len(cache.Protocols()), transitions)
+		fmt.Println("(local PE0 state x remote PE1 context x processor op; base timing)")
+		fmt.Println()
+		fmt.Print(table)
+	} else {
+		p, err := cliutil.ParseProtocol(*proto)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimtable:", err)
+			os.Exit(2)
+		}
+		sp := ph.Start("derive/" + *proto)
+		rows := cache.DeriveTransitionsJobs(p, *jobs)
+		sp.End()
+		transitions = len(rows)
+		fmt.Printf("%s protocol: %d derived transitions\n", *proto, transitions)
+		fmt.Println("(local PE0 state x remote PE1 context x processor op; base timing)")
+		fmt.Println()
+		table = cache.FormatTransitions(rows)
+		fmt.Print(table)
 	}
-	sp := ph.Start("derive/" + *proto)
-	rows := cache.DeriveTransitionsJobs(p, *jobs)
-	sp.End()
-	fmt.Printf("%s protocol: %d derived transitions\n", *proto, len(rows))
-	fmt.Println("(local PE0 state x remote PE1 context x processor op; base timing)")
-	fmt.Println()
-	table := cache.FormatTransitions(rows)
-	fmt.Print(table)
 	if *manifest != "" {
 		// The derived table is a deterministic protocol fingerprint:
 		// its digest in Extra makes any cross-host divergence in the
 		// state machine itself visible to pimreport diff.
-		man.Config.Protocol = p.String()
+		man.Config.Protocol = *proto
 		man.Config.Mode = "derive"
 		sum := sha256.Sum256([]byte(table))
 		man.Extra = map[string]string{
-			"transitions":  fmt.Sprint(len(rows)),
+			"transitions":  fmt.Sprint(transitions),
 			"table_sha256": obs.HexDigest(sum[:]),
 		}
 		man.FinishTiming(ph, nil, 0, ph.Elapsed().Seconds())

@@ -241,7 +241,7 @@ func replay(args []string) {
 	block := fs.Int("block", 4, "block size in words")
 	ways := fs.Int("ways", 4, "associativity")
 	optsName := fs.String("opts", "all", "none, heap, goal, comm, all")
-	protocolName := fs.String("protocol", "pim", "pim, illinois, or writethrough")
+	protocolName := fs.String("protocol", "pim", cliutil.ProtocolFlagHelp())
 	width := fs.Int("buswidth", 1, "bus width in words")
 	shards := fs.Int("shards", 1, "partition the replay across N cores by cache set (identical statistics; materializes the trace)")
 	statsOnly := fs.Bool("statsonly", false, "replay without a data plane (identical statistics, less memory and time)")

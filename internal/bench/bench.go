@@ -393,6 +393,36 @@ type BenchData struct {
 	// Section 3: copy-back reduces bus traffic, especially for
 	// write-heavy logic programs).
 	WriteThrough bus.Stats
+
+	// AltBus holds one unoptimized replay per extra registered protocol
+	// (everything beyond the paper's pim/illinois/writethrough trio,
+	// which keep the dedicated fields above), in registry order. A
+	// protocol registered with the cache package joins the ablation
+	// table without any change here.
+	AltBus []ProtocolStats
+}
+
+// ProtocolStats is one extra protocol's replay result for the
+// protocol-comparison table.
+type ProtocolStats struct {
+	Name string
+	Bus  bus.Stats
+}
+
+// altProtocols lists the registered protocols beyond the paper's three,
+// in registry order. These get one unoptimized replay each (matching
+// the illinois/write-through baseline configuration) so the protocol
+// ablation covers the whole registry.
+func altProtocols() []cache.Protocol {
+	var out []cache.Protocol
+	for _, p := range cache.Protocols() {
+		switch p.ID() {
+		case cache.ProtocolPIM, cache.ProtocolIllinois, cache.ProtocolWriteThrough:
+		default:
+			out = append(out, p.ID())
+		}
+	}
+	return out
 }
 
 // Data is a full evaluation dataset.
@@ -573,6 +603,19 @@ func collectSerial(o Options) (*Data, error) {
 				return nil, err
 			}
 			bd.WriteThrough = wbs
+			// Extra registered protocols (moesi, dragon, adaptive, ...)
+			// replay unoptimized like the baselines above.
+			bd.AltBus = make([]ProtocolStats, len(altProtocols()))
+			for i, ap := range altProtocols() {
+				progress("replay %s", ap)
+				acfg := o.baseCache(cache.OptionsNone())
+				acfg.Protocol = ap
+				abs, _, err := rep.Replay(tr, acfg, bus.DefaultTiming())
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", b.Name, ap, err)
+				}
+				bd.AltBus[i] = ProtocolStats{Name: ap.String(), Bus: abs}
+			}
 		}
 		replaySpan.End()
 		data.Benches = append(data.Benches, bd)

@@ -78,6 +78,7 @@ func replayConsumers(o Options) int {
 	if !o.SkipSweeps {
 		n += len(o.BlockSizes) + len(o.Capacities) + len(o.Associativities)
 		n += 3 // two-word bus, Illinois, write-through
+		n += len(altProtocols())
 	}
 	return n
 }
@@ -126,6 +127,9 @@ func collectParallel(o Options) (*Data, error) {
 			st.bd.BlockSweep = make([]SweepPoint, len(o.BlockSizes))
 			st.bd.CapSweep = make([]SweepPoint, len(o.Capacities))
 			st.bd.WaySweep = make([]SweepPoint, len(o.Associativities))
+			// One slot per extra protocol: jobs write by index, so the
+			// assembled slice is deterministic and race-free.
+			st.bd.AltBus = make([]ProtocolStats, len(altProtocols()))
 		}
 		st.consumers.Store(int32(replayConsumers(o)))
 		states[i] = st
@@ -287,4 +291,17 @@ func submitReplayJobs(pool *par.Pool, pw *progressLog, o Options, st *benchState
 		st.bd.WriteThrough = bs
 		return nil
 	})
+	for i, ap := range altProtocols() {
+		i, ap := i, ap
+		replay(ap.String(), func(tr *trace.Trace) error {
+			cfg := o.baseCache(cache.OptionsNone())
+			cfg.Protocol = ap
+			bs, _, err := st.rep.Replay(tr, cfg, bus.DefaultTiming())
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", name, ap, err)
+			}
+			st.bd.AltBus[i] = ProtocolStats{Name: ap.String(), Bus: bs}
+			return nil
+		})
+	}
 }

@@ -417,18 +417,35 @@ func ExtraAssociativity(d *Data) *stats.Table {
 // common bus traffic... AND-parallel Prolog benefits from copyback even
 // more than procedural languages") plus the paper's contribution on top.
 func ExtraProtocols(d *Data) *stats.Table {
+	extra := altProtocols()
+	cols := []string{"benchmark", "write-through", "illinois", "pim", "pim+opts"}
+	for _, p := range extra {
+		cols = append(cols, p.String())
+	}
 	t := &stats.Table{
 		Title:   "Protocol comparison: bus cycles relative to the unoptimized PIM copy-back",
-		Columns: []string{"benchmark", "write-through", "illinois", "pim", "pim+opts"},
-		Notes:   []string{"write-through pays one bus transaction per store (Section 3 premise)"},
+		Columns: cols,
+		Notes: []string{
+			"write-through pays one bus transaction per store (Section 3 premise)",
+			"extra registered protocols replay unoptimized, like the illinois column",
+		},
 	}
 	for _, bd := range d.Benches {
 		base := bd.OptBus["None"].TotalCycles
-		t.AddFloats(bd.Name, "%.2f",
+		alt := map[string]bus.Stats{}
+		for _, ps := range bd.AltBus {
+			alt[ps.Name] = ps.Bus
+		}
+		cells := []float64{
 			stats.Ratio(bd.WriteThrough.TotalCycles, base),
 			stats.Ratio(bd.Illinois.TotalCycles, base),
 			1.0,
-			stats.Ratio(bd.OptBus["All"].TotalCycles, base))
+			stats.Ratio(bd.OptBus["All"].TotalCycles, base),
+		}
+		for _, p := range extra {
+			cells = append(cells, stats.Ratio(alt[p.String()].TotalCycles, base))
+		}
+		t.AddFloats(bd.Name, "%.2f", cells...)
 	}
 	return t
 }

@@ -227,5 +227,10 @@ func (o Options) replayKeys() []warmKey {
 	wt := o.baseCache(cache.OptionsNone())
 	wt.Protocol = cache.ProtocolWriteThrough
 	keys = append(keys, warmKey{wt, dt})
+	for _, ap := range altProtocols() {
+		cfg := o.baseCache(cache.OptionsNone())
+		cfg.Protocol = ap
+		keys = append(keys, warmKey{cfg, dt})
+	}
 	return keys
 }

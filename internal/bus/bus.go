@@ -38,11 +38,22 @@ const (
 	CmdUL
 	// CmdLH is the lock-hit response; the requester busy-waits.
 	CmdLH
+	// CmdUP broadcasts one written word to every other holder of its
+	// block (the write-update protocols' alternative to I). Memory is
+	// NOT updated: the writer owns the eventual write-back.
+	CmdUP
 
 	NumCommands
 )
 
-var commandNames = [NumCommands]string{"F", "FI", "I", "H", "LK", "UL", "LH"}
+var commandNames = [NumCommands]string{"F", "FI", "I", "H", "LK", "UL", "LH", "UP"}
+
+func init() {
+	// Register the authoritative name tables with the telemetry layer
+	// (probe cannot import this package).
+	probe.SetCmdNames(commandNames[:])
+	probe.SetPatternNames(patternNames[:])
+}
 
 // String returns the paper's mnemonic for the command.
 func (c Command) String() string {
@@ -80,13 +91,17 @@ const (
 	// the write-through baseline protocol (address cycle + one data
 	// word; the memory module absorbs it).
 	PatWordWrite
+	// PatUpdate is a UP broadcast carrying one written word to the other
+	// holders (address cycle + one data word; memory does not absorb it,
+	// so unlike PatWordWrite it never occupies the memory module).
+	PatUpdate
 
 	NumPatterns
 )
 
 var patternNames = [NumPatterns]string{
 	"swapin-mem", "swapin-mem+swapout", "c2c", "c2c+swapout",
-	"swapout-only", "invalidate", "unlock", "word-write",
+	"swapout-only", "invalidate", "unlock", "word-write", "update",
 }
 
 // String names the pattern.
@@ -136,7 +151,7 @@ func (t Timing) Cycles(p Pattern, blockWords int) uint64 {
 	case PatInval, PatUnlock:
 		// Command and address broadcast.
 		return 2
-	case PatWordWrite:
+	case PatWordWrite, PatUpdate:
 		// Address cycle plus one data word.
 		return 2
 	default:
@@ -182,13 +197,22 @@ func (s *Stats) Add(other *Stats) {
 type Snooper interface {
 	// SnoopFetch is invoked for F/FI on the block containing addr. If the
 	// cache holds the block it must return its data and report whether
-	// its copy was modified; when inval is true (FI) it must invalidate
-	// its copy, and when false (F) it must downgrade to a shared state,
-	// keeping write-back ownership if its copy was dirty (EM becomes SM:
-	// the PIM protocol never copies back to memory on a transfer).
+	// it supplies that data (under MOESI only a dirty owner supplies;
+	// clean holders assert sharing and defer to memory) and whether its
+	// copy was modified; when inval is true (FI) it must invalidate its
+	// copy, and when false (F) it must downgrade per its protocol,
+	// keeping write-back ownership if its copy was dirty (EM becomes
+	// SM/O: the PIM family never copies back to memory on a transfer).
 	// retained reports whether the snooper still holds a valid copy
 	// afterwards, which tells the requester to install the block shared.
-	SnoopFetch(addr word.Addr, inval bool) (data []word.Word, held, dirty, retained bool)
+	SnoopFetch(addr word.Addr, inval bool) (data []word.Word, held, supplies, dirty, retained bool)
+	// SnoopUpdate is invoked for UP: a remote writer broadcast one
+	// written word of the block containing addr. A holder stores the
+	// word into its copy and reports held; retained is false when the
+	// holder discarded its copy instead (the adaptive protocol's
+	// competitive self-invalidation), which lets a writer that finds no
+	// retaining holders settle in an exclusive state.
+	SnoopUpdate(addr word.Addr, w word.Word) (held, retained bool)
 	// SnoopInvalidate is invoked for I; any copy is discarded. It
 	// reports whether the discarded copy was modified, which rides the
 	// snoop response so a requester upgrading a clean copy knows it
@@ -733,12 +757,12 @@ func (b *Bus) fetch(requester int, addr word.Addr, inval, victimDirty, withLock 
 		if s == nil {
 			continue
 		}
-		data, held, dirty, retained := s.SnoopFetch(addr, inval)
+		data, held, supplies, dirty, retained := s.SnoopFetch(addr, inval)
 		if !held {
 			continue
 		}
 		b.stats.Commands[CmdH]++
-		if !fromCache {
+		if supplies && !fromCache {
 			fromCache = true
 			res.FromCache = true
 			if !b.statsOnly {
@@ -872,6 +896,66 @@ func (b *Bus) invalidate(requester int, addr word.Addr, withLock bool) (dirtyKil
 		b.emitEnd(requester, addr, uint8(CmdI), uint8(PatInval), holders, cy)
 	}
 	return dirtyKilled
+}
+
+// Update performs a UP transaction for addr on behalf of requester: the
+// written word w is broadcast to every other holder of addr's block (the
+// write-update protocols' alternative to Invalidate). Memory is not
+// written — the requester owns the eventual write-back. ok is false when
+// a remote lock directory responded LH (locks keep their invalidate-era
+// semantics: a store to a remotely locked word busy-waits), in which
+// case no copies were updated. shared reports that at least one remote
+// holder retained a copy after the broadcast, so the writer must settle
+// in its dirty-shared state.
+func (b *Bus) Update(requester int, addr word.Addr, w word.Word) (ok, shared bool) {
+	b.beginTransaction()
+	if b.lockHit(requester, addr) {
+		var holders uint64
+		if b.probe != nil {
+			holders = b.actualHolders(requester, addr)
+		}
+		cy := b.account(PatInval, addr)
+		if b.probe != nil {
+			b.emitAborted(requester, addr, uint8(CmdUP), false, holders, cy)
+		}
+		return false, false
+	}
+	return true, b.update(requester, addr, w)
+}
+
+// ForceUpdate updates without the lock poll; see FetchForced.
+func (b *Bus) ForceUpdate(requester int, addr word.Addr, w word.Word) (shared bool) {
+	b.beginTransaction()
+	return b.update(requester, addr, w)
+}
+
+func (b *Bus) update(requester int, addr word.Addr, w word.Word) (shared bool) {
+	b.stats.Commands[CmdUP]++
+	var holders uint64
+	if b.probe != nil {
+		holders = b.actualHolders(requester, addr)
+		b.emitBegin(requester, addr, uint8(CmdUP), holders, false)
+	}
+	cy := b.account(PatUpdate, addr)
+	// SnoopUpdate is a no-op on non-holders, so visiting only the
+	// filtered holder set is exact. Holders self-invalidating mid-loop
+	// (the adaptive protocol) mutate b.presence; m is a local copy, so
+	// the iteration is unaffected.
+	for m := b.remoteMask(requester, b.blockBase(addr)); m != 0; m &= m - 1 {
+		if s := b.snoopers[bits.TrailingZeros64(m)]; s != nil {
+			held, retained := s.SnoopUpdate(addr, w)
+			if held {
+				b.stats.Commands[CmdH]++
+			}
+			if retained {
+				shared = true
+			}
+		}
+	}
+	if b.probe != nil {
+		b.emitEnd(requester, addr, uint8(CmdUP), uint8(PatUpdate), holders, cy)
+	}
+	return shared
 }
 
 // SwapOut writes requester's dirty victim block back to shared memory

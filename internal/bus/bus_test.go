@@ -89,16 +89,20 @@ type fakeSnooper struct {
 	invalCount int
 }
 
-func (f *fakeSnooper) SnoopFetch(addr word.Addr, inval bool) ([]word.Word, bool, bool, bool) {
+func (f *fakeSnooper) SnoopFetch(addr word.Addr, inval bool) ([]word.Word, bool, bool, bool, bool) {
 	f.snoopCount++
 	if !f.holds {
-		return nil, false, false, false
+		return nil, false, false, false, false
 	}
 	retained := !inval && f.retainOnF
 	if inval {
 		f.holds = false
 	}
-	return f.data, true, f.dirty, retained
+	return f.data, true, true, f.dirty, retained
+}
+
+func (f *fakeSnooper) SnoopUpdate(word.Addr, word.Word) (bool, bool) {
+	return f.holds, f.holds
 }
 
 func (f *fakeSnooper) SnoopInvalidate(word.Addr) bool {

@@ -34,19 +34,29 @@ func (n *notifySnooper) drop(base word.Addr) {
 	n.bus.BlockDropped(n.pe, base)
 }
 
-func (n *notifySnooper) SnoopFetch(a word.Addr, inval bool) ([]word.Word, bool, bool, bool) {
+func (n *notifySnooper) SnoopFetch(a word.Addr, inval bool) ([]word.Word, bool, bool, bool, bool) {
 	n.snoops++
 	base := n.base(a)
 	data, ok := n.blocks[base]
 	if !ok {
-		return nil, false, false, false
+		return nil, false, false, false, false
 	}
 	dirty := n.dirty[base]
 	if inval {
 		n.drop(base)
-		return data, true, dirty, false
+		return data, true, true, dirty, false
 	}
-	return data, true, dirty, true
+	return data, true, true, dirty, true
+}
+
+func (n *notifySnooper) SnoopUpdate(a word.Addr, w word.Word) (bool, bool) {
+	base := n.base(a)
+	data, ok := n.blocks[base]
+	if !ok {
+		return false, false
+	}
+	data[a-base] = w
+	return true, true
 }
 
 func (n *notifySnooper) SnoopInvalidate(a word.Addr) bool {

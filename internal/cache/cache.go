@@ -53,6 +53,20 @@ type Cache struct {
 	tags []uint64
 	lru  []uint64
 
+	// proto is the coherence FSM (a stateless singleton from the
+	// registry). The three capability fields cache its mode answers so
+	// the hit paths and the write-path dispatch never make an interface
+	// call; proto itself is consulted only on miss/snoop/upgrade paths.
+	proto    CoherenceProtocol
+	isWT     bool // proto.WriteThrough()
+	isUpdate bool // proto.WriteUpdate()
+	updLimit int  // proto.UpdateSelfInvalidate()
+	// updCounts is the adaptive protocol's per-frame consecutive
+	// received-update counter plane (nil otherwise): bumped by each
+	// applied UP broadcast, reset by any local touch, and the frame is
+	// dropped when a count reaches updLimit.
+	updCounts []uint8
+
 	ways     int
 	bw       int // block words (frame stride in the data plane)
 	setMask  word.Addr
@@ -120,9 +134,19 @@ func New(cfg Config, pe int, b *bus.Bus) *Cache {
 		blockShift: uint(bits.TrailingZeros(uint(cfg.BlockWords))),
 		dir:        newLockDir(cfg.LockEntries),
 	}
+	c.proto = cfg.Protocol.Impl()
+	c.isWT = c.proto.WriteThrough()
+	c.isUpdate = c.proto.WriteUpdate()
+	c.updLimit = c.proto.UpdateSelfInvalidate()
+	if c.updLimit > 0 {
+		c.updCounts = make([]uint8, frames)
+	}
 	b.Attach(pe, c, c)
 	return c
 }
+
+// Protocol returns the coherence FSM this cache runs.
+func (c *Cache) Protocol() CoherenceProtocol { return c.proto }
 
 // PE returns the processor index.
 func (c *Cache) PE() int { return c.pe }
@@ -179,7 +203,8 @@ func (c *Cache) storeWord(f int, a word.Addr, w word.Word) {
 }
 
 // invalidTag marks an INV frame in the tag plane. Zero is free: a valid
-// frame's tag carries a nonzero state byte (the valid states are 1..4),
+// frame's tag carries a nonzero state byte (the valid states are
+// 1..numStates-1),
 // so no valid tag collides with it, and a fresh plane needs no fill pass
 // beyond make's zeroing.
 const invalidTag = uint64(0)
@@ -208,6 +233,11 @@ func (c *Cache) lookup(a word.Addr) int {
 func (c *Cache) touch(f int) {
 	c.lruClock++
 	c.lru[f] = c.lruClock
+	if c.updCounts != nil {
+		// Any local access resets the adaptive protocol's competitive
+		// counter: the block is not migratory from this PE's view.
+		c.updCounts[f] = 0
+	}
 }
 
 // victimFor picks the replacement frame for a block that will be
@@ -265,7 +295,9 @@ func (c *Cache) install(f int, base word.Addr, st State, reason uint64) {
 // no-op on an already-invalid frame.
 func (c *Cache) drop(f int, reason uint64) {
 	if c.states[f] != INV {
-		if !Faults.SkipFilterDrop {
+		skipFilter := Faults.SkipFilterDrop ||
+			(Faults.AdaptiveDropSkipFilter && reason == probe.ReasonAdaptiveDrop)
+		if !skipFilter {
 			c.bus.BlockDropped(c.pe, c.bases[f])
 		}
 		if c.probe != nil {
@@ -280,7 +312,7 @@ func (c *Cache) drop(f int, reason uint64) {
 // bus cost is folded into the with-swap-out fetch pattern chosen by the
 // caller).
 func (c *Cache) evictHidden(f int) {
-	if c.states[f].Dirty() {
+	if c.states[f].Dirty() && !(Faults.MOESIDropOwnedWriteBack && c.states[f] == O) {
 		c.bus.SwapOutHidden(c.bases[f], c.frameData(f))
 		c.stats.SwapOuts++
 	}
@@ -318,26 +350,7 @@ func (c *Cache) fetchInto(a word.Addr, inval bool) int {
 	}
 	c.evictHidden(victim)
 	copy(c.frameData(victim), res.Data)
-	var st State
-	switch {
-	case inval && res.Shared:
-		// A remote lock in this block denies exclusivity (see
-		// Bus.RemoteLockInBlock); a dirty supply still transfers
-		// write-back ownership.
-		if res.SupplierDirty {
-			st = SM
-		} else {
-			st = S
-		}
-	case inval && res.SupplierDirty:
-		st = EM
-	case inval:
-		st = EC
-	case res.FromCache || res.Shared:
-		st = S
-	default:
-		st = EC
-	}
+	st := c.proto.FetchState(inval, res.FromCache, res.SupplierDirty, res.Shared)
 	c.install(victim, c.blockBase(a), st, probe.ReasonFetch)
 	c.touch(victim)
 	return victim
@@ -359,7 +372,7 @@ func (c *Cache) readInternal(a word.Addr, op Op) word.Word {
 // writeInternal is the plain-write path shared by W, UW and degraded DW.
 // It records hit/miss under op.
 func (c *Cache) writeInternal(a word.Addr, w word.Word, op Op) {
-	if c.cfg.Protocol == ProtocolWriteThrough {
+	if c.isWT {
 		// Write-through with invalidation, write-no-allocate: the store
 		// goes straight to memory (one bus transaction per write), other
 		// copies die, a present local copy is updated in place, and no
@@ -377,37 +390,68 @@ func (c *Cache) writeInternal(a word.Addr, w word.Word, op Op) {
 	if f := c.lookup(a); f >= 0 {
 		c.stats.Hits[op]++
 		c.touch(f)
-		switch c.states[f] {
-		case S, SM:
-			// Writing a shared block: invalidate the other copies. The
-			// block stays non-exclusive (SM) if a remote PE holds a lock
-			// on one of its words; see Bus.RemoteLockInBlock. A killed
-			// remote dirty copy needs no special handling here: the
-			// writer's copy becomes modified either way.
+		switch st := c.states[f]; {
+		case st == EC:
+			c.setState(f, EM, probe.ReasonWrite)
+		case !st.Exclusive():
+			// Writing a shared block. Invalidate protocols kill the other
+			// copies; the block stays non-exclusive if a remote PE holds
+			// a lock on one of its words (see Bus.RemoteLockInBlock), and
+			// a killed remote dirty copy needs no special handling here:
+			// the writer's copy becomes modified either way. Update
+			// protocols broadcast the word to the other copies instead.
+			if c.isUpdate {
+				c.updateShared(f, a, w)
+				break
+			}
 			if ok, _ := c.bus.Invalidate(c.pe, a, false); !ok {
 				c.stats.BusyWaits++
 				c.bus.ForceInvalidate(c.pe, a)
 			}
-			if c.bus.RemoteLockInBlock(c.pe, a) && !Faults.GrantEMOverRemoteLock {
-				c.setState(f, SM, probe.ReasonWrite)
-			} else {
-				c.setState(f, EM, probe.ReasonWrite)
-			}
-		case EC:
-			c.setState(f, EM, probe.ReasonWrite)
+			locked := c.bus.RemoteLockInBlock(c.pe, a) && !Faults.GrantEMOverRemoteLock
+			c.setState(f, c.proto.WriteOwnState(locked), probe.ReasonWrite)
 		}
 		c.storeWord(f, a, w)
 		return
 	}
 	c.miss(a, op)
+	if c.isUpdate {
+		// Write-update miss: fetch without invalidating; if the grant
+		// was shared, broadcast the word to the other holders.
+		f := c.fetchInto(a, false)
+		if !c.states[f].Exclusive() {
+			c.updateShared(f, a, w)
+		} else {
+			c.setState(f, EM, probe.ReasonWrite)
+		}
+		c.storeWord(f, a, w)
+		return
+	}
 	f := c.fetchInto(a, true) // fetch-on-write, invalidating other copies
-	if (c.states[f] == S || c.states[f] == SM) && !Faults.GrantEMOverRemoteLock {
-		// Lock-forced non-exclusive grant: stay shared-modified.
+	// A lock-forced non-exclusive grant keeps the writer dirty-shared.
+	locked := !c.states[f].Exclusive() && !Faults.GrantEMOverRemoteLock
+	c.setState(f, c.proto.WriteOwnState(locked), probe.ReasonWrite)
+	c.storeWord(f, a, w)
+}
+
+// updateShared performs the write-update protocols' shared-block write:
+// a UP broadcast carrying the word to every other holder. The writer
+// becomes the block's dirty owner — Sm (stored as SM) while any holder
+// retains a copy or a remote lock denies exclusivity, M (stored as EM)
+// once it is alone. Memory is NOT updated: the owner carries the
+// write-back, which preserves the clean-copies-match-memory invariant
+// the differential checker pins.
+func (c *Cache) updateShared(f int, a word.Addr, w word.Word) {
+	ok, shared := c.bus.Update(c.pe, a, w)
+	if !ok {
+		c.stats.BusyWaits++
+		shared = c.bus.ForceUpdate(c.pe, a, w)
+	}
+	if shared || c.bus.RemoteLockInBlock(c.pe, a) {
 		c.setState(f, SM, probe.ReasonWrite)
 	} else {
 		c.setState(f, EM, probe.ReasonWrite)
 	}
-	c.storeWord(f, a, w)
 }
 
 func (c *Cache) countRef(a word.Addr, op Op) mem.Area {
@@ -456,7 +500,7 @@ func (c *Cache) DirectWrite(a word.Addr, w word.Word) {
 }
 
 func (c *Cache) directWrite(a word.Addr, w word.Word, area mem.Area) {
-	if c.cfg.Protocol == ProtocolWriteThrough {
+	if c.isWT {
 		// DW exists to avoid the fetch-on-write of a copy-back cache;
 		// write-through has no fetch-on-write to avoid.
 		c.stats.DWDegraded++
@@ -473,6 +517,26 @@ func (c *Cache) directWrite(a word.Addr, w word.Word, area mem.Area) {
 		c.stats.DWDegraded++
 		c.writeInternal(a, w, OpDW)
 		return
+	}
+	if c.isUpdate && !Faults.SkipDWUpdateInval && c.bus.RemoteHolder(c.pe, a) {
+		// The DW software contract ("no remote cache holds the block")
+		// is free under invalidation-based coherence: the last store the
+		// block's previous owner made killed every other copy, so by the
+		// time software recycles the record with DW nothing remote can
+		// hold it. Write-update protocols break that reasoning — their
+		// stores refresh remote copies instead of killing them, so a
+		// reader's copy from the record's previous life survives into
+		// the DW, and the silent exclusive install below would leave it
+		// stale forever (no later UP reaches a block the writer never
+		// broadcast for). Buy the premise back with an explicit I
+		// transaction, exactly as locks do (locks stay invalidate-based
+		// under the update protocols too). A killed dirty copy needs no
+		// ownership hand-off: DW replaces the whole block's content.
+		c.stats.DWUpdateInvals++
+		if ok, _ := c.bus.Invalidate(c.pe, a, false); !ok {
+			c.stats.BusyWaits++
+			c.bus.ForceInvalidate(c.pe, a)
+		}
 	}
 	if c.cfg.VerifyDW && c.bus.RemoteHolder(c.pe, a) {
 		panic(fmt.Sprintf("cache: DW contract violation at %#x: remote copy exists", a))
@@ -509,7 +573,7 @@ func (c *Cache) ExclusiveRead(a word.Addr) word.Word {
 }
 
 func (c *Cache) exclusiveRead(a word.Addr, area mem.Area) word.Word {
-	if c.cfg.Protocol == ProtocolWriteThrough {
+	if c.isWT {
 		c.stats.ERDegraded++
 		return c.readInternal(a, OpER)
 	}
@@ -559,7 +623,7 @@ func (c *Cache) ReadPurge(a word.Addr) word.Word {
 }
 
 func (c *Cache) readPurge(a word.Addr, area mem.Area) word.Word {
-	if c.cfg.Protocol == ProtocolWriteThrough {
+	if c.isWT {
 		c.stats.RPDegraded++
 		return c.readInternal(a, OpRP)
 	}
@@ -606,7 +670,7 @@ func (c *Cache) ReadInvalidate(a word.Addr) word.Word {
 }
 
 func (c *Cache) readInvalidate(a word.Addr, area mem.Area) word.Word {
-	if c.cfg.Protocol == ProtocolWriteThrough {
+	if c.isWT {
 		c.stats.RIDegraded++
 		return c.readInternal(a, OpRI)
 	}
@@ -655,28 +719,24 @@ func (c *Cache) lockRead(a word.Addr) (word.Word, bool) {
 			c.acquireLock(a)
 			return c.loadWord(f, a), true
 		}
-		// Shared hit: LK + I to take ownership. The block upgrades to an
-		// exclusive state unless a remote lock on another of its words
-		// forbids exclusivity. If the I killed a remote modified copy
-		// (this clean S copy was supplied by a dirty SM owner), this
-		// cache now holds the only copy of that data and must take over
-		// write-back ownership — upgrading to EC here would silently
-		// revert the block to stale memory on eviction. Found by the
-		// internal/check differential fuzzer.
+		// Shared hit: LK + I to take ownership (locks stay
+		// invalidate-based even under the write-update protocols — an
+		// update broadcast cannot grant the exclusivity a lock needs).
+		// The block upgrades to an exclusive state unless a remote lock
+		// on another of its words forbids exclusivity. If the I killed a
+		// remote modified copy (this clean S copy was supplied by a
+		// dirty owner), this cache now holds the only copy of that data
+		// and must take over write-back ownership — upgrading to EC here
+		// would silently revert the block to stale memory on eviction.
+		// Found by the internal/check differential fuzzer.
 		ok, dirtyKilled := c.bus.Invalidate(c.pe, a, true)
 		if !ok {
 			c.beginBusyWait(a)
 			return 0, false
 		}
-		switch {
-		case c.bus.RemoteLockInBlock(c.pe, a):
-			if dirtyKilled && c.states[f] == S {
-				c.setState(f, SM, probe.ReasonLock)
-			}
-		case c.states[f] == SM || dirtyKilled:
-			c.setState(f, EM, probe.ReasonLock)
-		default:
-			c.setState(f, EC, probe.ReasonLock)
+		locked := c.bus.RemoteLockInBlock(c.pe, a)
+		if st := c.proto.LockUpgradeState(c.states[f], dirtyKilled, locked); st != c.states[f] {
+			c.setState(f, st, probe.ReasonLock)
 		}
 		c.acquireLock(a)
 		return c.loadWord(f, a), true
@@ -691,17 +751,10 @@ func (c *Cache) lockRead(a word.Addr) (word.Word, bool) {
 	}
 	c.evictHidden(victim)
 	copy(c.frameData(victim), res.Data)
-	var st State
-	switch {
-	case res.Shared && res.SupplierDirty:
-		st = SM // a remote lock elsewhere in the block denies exclusivity
-	case res.Shared:
-		st = S
-	case res.SupplierDirty:
-		st = EM
-	default:
-		st = EC
-	}
+	// res.Shared here means a remote lock elsewhere in the block denied
+	// exclusivity; the install states are exactly the invalidating-fetch
+	// grant states.
+	st := c.proto.FetchState(true, res.FromCache, res.SupplierDirty, res.Shared)
 	c.install(victim, c.blockBase(a), st, probe.ReasonLock)
 	c.touch(victim)
 	c.acquireLock(a)
@@ -810,41 +863,70 @@ func (c *Cache) LocksInUse() int { return c.dir.inUse() }
 
 // --- bus.Snooper ---
 
-// SnoopFetch implements bus.Snooper.
-func (c *Cache) SnoopFetch(a word.Addr, inval bool) (data []word.Word, held, dirty, retained bool) {
+// SnoopFetch implements bus.Snooper. The protocol hooks decide whether
+// this holder supplies the data (MOESI clean holders assert H but defer
+// to memory), whether the supply is simultaneously copied back to shared
+// memory (Illinois), what the holder's next state is, and whether the
+// requester must take over write-back ownership (dirty).
+func (c *Cache) SnoopFetch(a word.Addr, inval bool) (data []word.Word, held, supplies, dirty, retained bool) {
 	f := c.lookup(a)
 	if f < 0 {
-		return nil, false, false, false
+		return nil, false, false, false, false
 	}
 	data = c.frameData(f)
-	dirty = c.states[f].Dirty()
-	if c.cfg.Protocol == ProtocolIllinois && dirty {
-		// Illinois copies a dirty block back to shared memory whenever it
-		// is supplied, so every copy ends up clean. This is exactly the
-		// memory-module pressure the SM state avoids.
-		c.bus.MemoryWriteBack(c.bases[f], data)
-		if inval {
-			c.drop(f, probe.ReasonSnoopInval)
-			c.stats.Invalidations++
-			return data, true, false, false
-		}
-		c.setState(f, S, probe.ReasonSnoopShare)
-		return data, true, false, true
-	}
+	wasDirty := c.states[f].Dirty()
+	supplies = wasDirty || c.proto.CleanSupplies()
 	if inval {
+		reportDirty, copyBack := c.proto.SnoopInvalTransfer(wasDirty)
+		if copyBack {
+			c.bus.MemoryWriteBack(c.bases[f], data)
+		}
 		c.drop(f, probe.ReasonSnoopInval)
 		c.stats.Invalidations++
-		return data, true, dirty, false
+		return data, true, supplies, reportDirty, false
 	}
-	// PIM: no copy-back on transfer. A modified supplier keeps write-back
-	// ownership in SM; clean exclusives downgrade to S.
-	switch c.states[f] {
-	case EM:
-		c.setState(f, SM, probe.ReasonSnoopShare)
-	case EC:
+	st, copyBack, reportDirty := c.proto.SnoopShareState(c.states[f])
+	if copyBack {
+		c.bus.MemoryWriteBack(c.bases[f], data)
+	}
+	if st != c.states[f] {
+		c.setState(f, st, probe.ReasonSnoopShare)
+	}
+	return data, true, supplies, reportDirty, true
+}
+
+// SnoopUpdate implements bus.Snooper: a remote writer's UP broadcast
+// carrying one word of a block this cache may hold. A holder stores the
+// word in place (the lost-update hazard Faults.SkipSnoopUpdate models
+// dropping) and normally retains its copy; under the adaptive protocol a
+// copy that has received updLimit consecutive broadcasts with no local
+// touch looks migratory and is self-invalidated instead, letting the
+// writer settle into an exclusive state.
+func (c *Cache) SnoopUpdate(a word.Addr, w word.Word) (held, retained bool) {
+	f := c.lookup(a)
+	if f < 0 {
+		return false, false
+	}
+	c.stats.UpdatesReceived++
+	if !Faults.SkipSnoopUpdate {
+		c.storeWord(f, a, w)
+	}
+	if c.states[f].Dirty() {
+		// The broadcasting writer becomes the block's dirty owner; this
+		// previous owner's copy — now identical to the writer's —
+		// downgrades to plain shared, keeping write-back ownership
+		// unique (Dragon's Sm→Sc on a snooped update).
 		c.setState(f, S, probe.ReasonSnoopShare)
 	}
-	return data, true, dirty, true
+	if c.updLimit > 0 {
+		c.updCounts[f]++
+		if int(c.updCounts[f]) >= c.updLimit {
+			c.stats.AdaptiveDrops++
+			c.drop(f, probe.ReasonAdaptiveDrop)
+			return true, false
+		}
+	}
+	return true, true
 }
 
 // SnoopInvalidate implements bus.Snooper. It reports whether the

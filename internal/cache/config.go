@@ -24,15 +24,15 @@ const (
 	// blocks are never dirty, so evictions are free — and so is every
 	// optimized command, which all degrade to R/W.
 	ProtocolWriteThrough
+
+	// ProtocolMOESI, ProtocolDragon and ProtocolAdaptive continue the
+	// enumeration in protocol.go, next to their FSM implementations.
 )
 
-// String names the protocol.
+// String names the protocol (the registry key).
 func (p Protocol) String() string {
-	switch p {
-	case ProtocolIllinois:
-		return "illinois"
-	case ProtocolWriteThrough:
-		return "writethrough"
+	if int(p) < len(protocolRegistry) {
+		return protocolRegistry[p].Name()
 	}
 	return "pim"
 }
@@ -184,6 +184,9 @@ func (c Config) Validate() error {
 	}
 	if c.LockEntries <= 0 {
 		return fmt.Errorf("cache: need at least one lock entry")
+	}
+	if int(c.Protocol) >= len(protocolRegistry) {
+		return fmt.Errorf("cache: unregistered protocol %d", c.Protocol)
 	}
 	return nil
 }

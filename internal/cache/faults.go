@@ -20,6 +20,26 @@ type FaultInjection struct {
 	// SkipFilterDrop makes drop forget to notify the bus presence
 	// filter, leaving a stale holder bit in the snoop-filter mask.
 	SkipFilterDrop bool
+	// MOESIDropOwnedWriteBack makes eviction treat a MOESI Owned block
+	// as clean: the dirty-shared data this cache owned the write-back
+	// for silently reverts to stale memory once every copy is gone.
+	MOESIDropOwnedWriteBack bool
+	// SkipSnoopUpdate makes SnoopUpdate acknowledge a received UP
+	// broadcast without storing the word, leaving this holder's copy
+	// stale beside the writer's — the lost-update bug write-update
+	// protocols exist to prevent.
+	SkipSnoopUpdate bool
+	// AdaptiveDropSkipFilter makes the adaptive protocol's competitive
+	// self-invalidation forget to notify the bus presence filter,
+	// leaving a stale holder bit behind the drop.
+	AdaptiveDropSkipFilter bool
+	// SkipDWUpdateInval makes an applied DW under a write-update
+	// protocol skip the remote-copy invalidate, reintroducing the
+	// free-list recycling bug the fix in directWrite exists for: a
+	// reader's copy from the record's previous life — kept alive by UP
+	// refreshes where an invalidate protocol would have killed it —
+	// survives the silent exclusive install and goes permanently stale.
+	SkipDWUpdateInval bool
 }
 
 // Faults is the package-wide fault-injection state. Tests that set a

@@ -30,6 +30,10 @@ type Snapshot struct {
 	LRU      []uint64
 	Data     []word.Word
 	LRUClock uint64
+	// UpdCounts is the adaptive protocol's per-frame received-update
+	// counter plane; nil for every other protocol, so their encoded
+	// checkpoints are unchanged.
+	UpdCounts []uint8
 
 	Locks     []LockEntrySnapshot
 	Blocked   bool
@@ -48,6 +52,7 @@ func (c *Cache) Snapshot() *Snapshot {
 		LRU:       append([]uint64(nil), c.lru...),
 		Data:      append([]word.Word(nil), c.data...),
 		LRUClock:  c.lruClock,
+		UpdCounts: append([]uint8(nil), c.updCounts...),
 		Locks:     make([]LockEntrySnapshot, len(c.dir.entries)),
 		Blocked:   c.blocked,
 		BlockedOn: c.blockedOn,
@@ -85,6 +90,13 @@ func (c *Cache) Restore(s *Snapshot) error {
 	copy(c.lru, s.LRU)
 	copy(c.data, s.Data)
 	c.lruClock = s.LRUClock
+	if c.updCounts != nil {
+		if len(s.UpdCounts) != len(c.updCounts) {
+			return fmt.Errorf("cache: snapshot has %d update counters, cache has %d",
+				len(s.UpdCounts), len(c.updCounts))
+		}
+		copy(c.updCounts, s.UpdCounts)
+	}
 	for i, e := range s.Locks {
 		c.dir.entries[i] = lockEntry{addr: e.Addr, state: e.State}
 	}

@@ -12,7 +12,18 @@
 // Section 3.1 comparison.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"pimcache/internal/probe"
+)
+
+func init() {
+	// Register the authoritative name tables with the telemetry layer
+	// (probe cannot import this package).
+	probe.SetStateNames(stateNames[:])
+	probe.SetOpNames(opNames[:])
+}
 
 // State is a cache block state.
 type State uint8
@@ -31,11 +42,17 @@ const (
 	EC
 	// EM: the block is exclusive and modified.
 	EM
+	// O: the block is modified and perhaps shared, and this cache owns
+	// the eventual swap-out — MOESI's Owned state. It plays the same
+	// dirty-shared role SM does for the PIM protocol; MOESI keeps it
+	// distinct because only the owner supplies data on a snoop fetch
+	// (clean holders defer to memory), where any PIM holder supplies.
+	O
 
 	numStates
 )
 
-var stateNames = [numStates]string{"INV", "S", "SM", "EC", "EM"}
+var stateNames = [numStates]string{"INV", "S", "SM", "EC", "EM", "O"}
 
 // String names the state as in the paper.
 func (s State) String() string {
@@ -46,7 +63,7 @@ func (s State) String() string {
 }
 
 // Dirty reports whether the state obliges a swap-out on eviction.
-func (s State) Dirty() bool { return s == EM || s == SM }
+func (s State) Dirty() bool { return s == EM || s == SM || s == O }
 
 // Exclusive reports whether no other cache can hold the block.
 func (s State) Exclusive() bool { return s == EC || s == EM }

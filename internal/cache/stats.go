@@ -36,6 +36,12 @@ type Stats struct {
 	SwapOuts      uint64 // dirty victims written back
 	PurgedDirty   uint64 // modified blocks discarded by ER/RP (dead data)
 	Invalidations uint64 // copies lost to remote invalidations
+
+	// Write-update protocol activity (zero under invalidate protocols,
+	// so manifests and baselines for those are unchanged).
+	UpdatesReceived uint64 // UP broadcasts applied to a resident copy
+	AdaptiveDrops   uint64 // copies self-invalidated at the update threshold
+	DWUpdateInvals  uint64 // applied DWs that had to invalidate live remote copies
 }
 
 // DataRefs sums non-instruction references (all areas but inst).
@@ -124,4 +130,7 @@ func (s *Stats) Add(o *Stats) {
 	s.SwapOuts += o.SwapOuts
 	s.PurgedDirty += o.PurgedDirty
 	s.Invalidations += o.Invalidations
+	s.UpdatesReceived += o.UpdatesReceived
+	s.AdaptiveDrops += o.AdaptiveDrops
+	s.DWUpdateInvals += o.DWUpdateInvals
 }

@@ -54,26 +54,25 @@ func DeriveTransitions(proto Protocol) []TransitionRow {
 // identical for every job count: results are collected by scenario index,
 // not completion order, before the canonical sort.
 func DeriveTransitionsJobs(proto Protocol, jobs int) []TransitionRow {
+	// The scenario grid is the cross product of the protocol's registered
+	// state set with itself ("-" meaning no remote copy), so a protocol's
+	// table automatically covers exactly the states it declares (MOESI's
+	// O, write-through's clean subset, ...). Combinations the protocol
+	// cannot actually reach are weeded out by construct-and-verify in
+	// deriveOne: the scenario builder re-checks the states it produced
+	// and drops the cell when the protocol refuses the configuration.
 	type scenario struct {
 		local  State
-		remote string // "-", "S", "SM", "EC", "EM"
+		remote string // "-" for no remote copy, or a state name
 	}
+	states := proto.Impl().States()
 	var scenarios []scenario
-	for _, l := range []State{INV, S, SM, EC, EM} {
-		switch l {
-		case INV:
-			for _, r := range []string{"-", "S", "EC", "EM", "SM"} {
-				scenarios = append(scenarios, scenario{l, r})
+	for _, l := range states {
+		scenarios = append(scenarios, scenario{l, "-"})
+		for _, r := range states {
+			if r != INV {
+				scenarios = append(scenarios, scenario{l, r.String()})
 			}
-		case S, SM:
-			// A shared copy may coexist with a remote S copy (or, for S,
-			// a remote SM owner) or stand alone.
-			scenarios = append(scenarios, scenario{l, "-"}, scenario{l, "S"})
-			if l == S {
-				scenarios = append(scenarios, scenario{l, "SM"})
-			}
-		case EC, EM:
-			scenarios = append(scenarios, scenario{l, "-"})
 		}
 	}
 	ops := []string{"R", "W", "DW", "ER", "RP", "RI", "LR"}
@@ -88,13 +87,6 @@ func DeriveTransitionsJobs(proto Protocol, jobs int) []TransitionRow {
 	var cells []cell
 	for _, sc := range scenarios {
 		for _, op := range ops {
-			if proto == ProtocolWriteThrough && (sc.local == SM || sc.local == EM ||
-				sc.remote == "SM" || sc.remote == "EM") {
-				continue // dirty states are unreachable under write-through
-			}
-			if proto == ProtocolIllinois && (sc.local == SM || sc.remote == "SM") {
-				continue // SM is unreachable under Illinois
-			}
 			cells = append(cells, cell{sc.local, sc.remote, op})
 		}
 	}
@@ -149,12 +141,25 @@ func deriveOne(proto Protocol, local State, remote, op string) (TransitionRow, b
 	a := m.Bounds().HeapBase
 	m.Write(a, word.Int(1))
 
+	// Recipes are written in terms of the PIM state names; protocols that
+	// rename the dirty-shared owner state (MOESI's O) reuse the SM
+	// recipes, and the final verification below still checks the literal
+	// requested states, so a recipe that lands elsewhere drops the cell.
+	normLocal := local
+	if normLocal == O {
+		normLocal = SM
+	}
+	normRemote := remote
+	if normRemote == "O" {
+		normRemote = "SM"
+	}
+
 	// Build the starting configuration. Orders of operations are chosen
 	// so the last action leaves exactly the desired states.
 	set := func() bool {
 		switch {
-		case local == INV && remote == "-":
-		case local == INV && remote == "S":
+		case normLocal == INV && normRemote == "-":
+		case normLocal == INV && normRemote == "S":
 			c1.Read(a)
 			c0.Read(a)
 			c0.SnoopInvalidateSelf(a) // drop only the local copy
@@ -162,34 +167,34 @@ func deriveOne(proto Protocol, local State, remote, op string) (TransitionRow, b
 				// Reading downgraded c1 to S; keep it.
 				return c1.StateOf(a) == S
 			}
-		case local == INV && remote == "EC":
+		case normLocal == INV && normRemote == "EC":
 			c1.Read(a)
-		case local == INV && remote == "EM":
+		case normLocal == INV && normRemote == "EM":
 			c1.Write(a, word.Int(2))
-		case local == INV && remote == "SM":
+		case normLocal == INV && normRemote == "SM":
 			c1.Write(a, word.Int(2))
 			c0.Read(a) // c1 -> SM, c0 -> S
 			c0.SnoopInvalidateSelf(a)
-		case local == S && remote == "-":
+		case normLocal == S && normRemote == "-":
 			c1.Read(a)
 			c0.Read(a) // both S
 			c1.SnoopInvalidateSelf(a)
-		case local == S && remote == "S":
+		case normLocal == S && normRemote == "S":
 			c1.Read(a)
 			c0.Read(a)
-		case local == S && remote == "SM":
+		case normLocal == S && normRemote == "SM":
 			c1.Write(a, word.Int(2))
 			c0.Read(a)
-		case local == SM && remote == "-":
+		case normLocal == SM && normRemote == "-":
 			c0.Write(a, word.Int(2))
 			c1.Read(a) // c0 SM, c1 S
 			c1.SnoopInvalidateSelf(a)
-		case local == SM && remote == "S":
+		case normLocal == SM && normRemote == "S":
 			c0.Write(a, word.Int(2))
 			c1.Read(a)
-		case local == EC && remote == "-":
+		case normLocal == EC && normRemote == "-":
 			c0.Read(a)
-		case local == EM && remote == "-":
+		case normLocal == EM && normRemote == "-":
 			c0.Write(a, word.Int(2))
 		default:
 			return false

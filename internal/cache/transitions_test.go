@@ -126,17 +126,100 @@ func TestTransitionsFormat(t *testing.T) {
 	}
 }
 
+// TestMOESITransitionGolden pins the rows that define MOESI against PIM:
+// the dirty supplier keeps ownership as O (not SM), and clean holders do
+// NOT supply — a read hitting a remote clean copy pays the memory-fill
+// cost, unlike PIM/Illinois cache-to-cache transfer.
+func TestMOESITransitionGolden(t *testing.T) {
+	rows := DeriveTransitions(ProtocolMOESI)
+	want := []struct {
+		start   State
+		remote  string
+		op      string
+		end     State
+		remote2 string
+		bus     string
+		cycles  uint64
+	}{
+		// Dirty supplier becomes Owned, memory not updated.
+		{INV, "EM", "R", S, "O", "F+H", 7},
+		// Clean holder asserts H but memory supplies: full fill cost.
+		{INV, "EC", "R", S, "S", "F+H", 13},
+		{INV, "S", "R", S, "S", "F+H", 13},
+		// The owner keeps supplying on later fills.
+		{INV, "O", "R", S, "O", "F+H", 7},
+		// Writing an owned block invalidates the sharers for 2 cycles.
+		{O, "S", "W", EM, "-", "I", 2},
+	}
+	for _, w := range want {
+		r, ok := findRow(rows, w.start, w.remote, w.op)
+		if !ok {
+			t.Errorf("missing transition %v/%s + %s", w.start, w.remote, w.op)
+			continue
+		}
+		got := fmt.Sprintf("%v/%s %s %d", r.End, r.RemoteEnd, r.BusOps, r.Cycles)
+		exp := fmt.Sprintf("%v/%s %s %d", w.end, w.remote2, w.bus, w.cycles)
+		if got != exp {
+			t.Errorf("%v/%s + %s: got %s, want %s", w.start, w.remote, w.op, got, exp)
+		}
+	}
+	for _, r := range rows {
+		if r.Start == SM || r.End == SM || r.Remote == "SM" || r.RemoteEnd == "SM" {
+			t.Errorf("MOESI reached SM: %+v", r)
+		}
+	}
+}
+
+// TestDragonTransitionGolden pins the write-update signature: a write to
+// a shared block broadcasts UP and keeps every copy valid (the writer
+// becomes the dirty-shared owner, the sharer stays S) where PIM would
+// invalidate.
+func TestDragonTransitionGolden(t *testing.T) {
+	rows := DeriveTransitions(ProtocolDragon)
+	r, ok := findRow(rows, S, "S", "W")
+	if !ok {
+		t.Fatal("missing S/S + W")
+	}
+	if r.End != SM || r.RemoteEnd != "S" || !strings.Contains(r.BusOps, "UP") {
+		t.Errorf("Dragon shared write: got %v/%s %s, want SM/S with UP", r.End, r.RemoteEnd, r.BusOps)
+	}
+	// A former owner receiving the update hands ownership to the writer.
+	r, ok = findRow(rows, S, "SM", "W")
+	if !ok {
+		t.Fatal("missing S/SM + W")
+	}
+	if r.End != SM || r.RemoteEnd != "S" || !strings.Contains(r.BusOps, "UP") {
+		t.Errorf("Dragon write under remote owner: got %v/%s %s, want SM/S with UP", r.End, r.RemoteEnd, r.BusOps)
+	}
+	// Exclusive writes stay silent, exactly as under PIM.
+	r, ok = findRow(rows, EM, "-", "W")
+	if !ok {
+		t.Fatal("missing EM/- + W")
+	}
+	if r.BusOps != "-" || r.Cycles != 0 {
+		t.Errorf("Dragon exclusive write: got %s %d, want silent", r.BusOps, r.Cycles)
+	}
+	// Locks still invalidate: LR on a shared block must not broadcast UP.
+	r, ok = findRow(rows, S, "S", "LR")
+	if !ok {
+		t.Fatal("missing S/S + LR")
+	}
+	if strings.Contains(r.BusOps, "UP") || r.RemoteEnd != "-" {
+		t.Errorf("Dragon lock read: got %s remote %s, want invalidation", r.BusOps, r.RemoteEnd)
+	}
+}
+
 // TestDeriveTransitionsJobsIdentical checks that the parallel derivation
-// produces exactly the serial table for every protocol: rows are slotted
-// by scenario index before the canonical sort, so worker scheduling can
-// never reorder or drop a transition.
+// produces exactly the serial table for every registered protocol: rows
+// are slotted by scenario index before the canonical sort, so worker
+// scheduling can never reorder or drop a transition.
 func TestDeriveTransitionsJobsIdentical(t *testing.T) {
-	for _, proto := range []Protocol{ProtocolPIM, ProtocolIllinois, ProtocolWriteThrough} {
-		serial := DeriveTransitions(proto)
-		parallel := DeriveTransitionsJobs(proto, 8)
+	for _, p := range Protocols() {
+		serial := DeriveTransitions(p.ID())
+		parallel := DeriveTransitionsJobs(p.ID(), 8)
 		if !reflect.DeepEqual(serial, parallel) {
 			t.Errorf("%v: parallel derivation differs\nserial:\n%s\nparallel:\n%s",
-				proto, FormatTransitions(serial), FormatTransitions(parallel))
+				p.ID(), FormatTransitions(serial), FormatTransitions(parallel))
 		}
 	}
 }

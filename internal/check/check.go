@@ -61,9 +61,10 @@ const (
 	// MaxPEs bounds the generated schedules.
 	MaxPEs = 4
 
-	heapBlocks   = 16             // total heap blocks the checker watches
+	heapBlocks   = 20             // total heap blocks the checker watches
 	heapRWBlocks = 8              // shared read/write/lock portion of the heap
 	dwPerPE      = 2              // PE-private direct-write blocks (heap blocks 8..15)
+	recycleBase  = 16             // per-PE free-list recycle blocks (16..19): see recycle
 	goalROBlocks = 8              // initialized, never written: ER/RP roam freely
 	goalRWBlocks = 8              // written: ER restricted to non-last words
 	commBlocks   = 8              // read/write/RI arena
@@ -235,8 +236,12 @@ func (d *decoder) group(sel, slot, val byte) {
 		d.release(pe, slot, true, v)
 	case 7: // U: release without writing
 		d.release(pe, slot, false, 0)
-	case 8: // DW: fresh-block allocation in this PE's private arena
-		d.directWrite(pe, slot, v)
+	case 8: // DW: fresh-block allocation, or free-list record recycling
+		if slot&0x80 != 0 {
+			d.recycle(pe, slot, v)
+		} else {
+			d.directWrite(pe, slot, v)
+		}
 	case 9: // ER: free in goalRO, non-last-word in goalRW
 		if slot%2 == 0 {
 			d.emit(pe, cache.OpER, blockAddr(d.pool.goalRO, goalROBlocks, slot), 0)
@@ -341,4 +346,52 @@ func (d *decoder) directWrite(pe int, slot byte, v int64) {
 		return
 	}
 	d.emit(pe, cache.OpDW, base, v)
+}
+
+// recycle emits the real runtime's free-list record-recycling pattern
+// (mem.FreeList): a remote PE caches a record block, the owner rewrites
+// the record, loses its own copy to a same-set conflict eviction, and
+// re-creates the record with an applied DW. A guard lock serializes the
+// two sections, so no remote access can land between the owner's store
+// and its DW — the one interleaving the DW software contract forbids —
+// while the remote copy itself legally survives into the DW under the
+// write-update protocols, whose stores refresh remote copies instead of
+// killing them. That surviving copy forces directWrite's update-protocol
+// invalidate; Faults.SkipDWUpdateInval suppresses it and must be caught
+// here (this generator gap is how the original live-machine bug slipped
+// past the matrix). The owner rewrites every word after the DW because
+// the flat model does not see the applied DW's zero-fill — the same
+// "whole record written before use" contract real software honours. The
+// wish degrades to a plain read when either PE already holds a lock:
+// each section must hold the guard alone, which keeps schedules
+// deadlock-free (a single-lock holder never blocks, so every wait chain
+// terminates).
+func (d *decoder) recycle(pe int, slot byte, v int64) {
+	reader := (pe + 1) % d.seq.PEs
+	if reader == pe || len(d.held[pe]) > 0 || len(d.held[reader]) > 0 {
+		d.emit(pe, cache.OpR, d.anyAddr(slot), 0)
+		return
+	}
+	guard := d.pool.heap + word.Addr(lockWords-1)
+	base := d.pool.heap + word.Addr((recycleBase+pe)*BlockWords)
+	// A goalRO block in base's cache set: reading it evicts the owner's
+	// copy (the checked cache is direct-mapped), standing in for the
+	// capacity eviction between a record's free and its reallocation.
+	sets := CacheWords / BlockWords
+	diff := int(base/BlockWords) - int(d.pool.goalRO/BlockWords)
+	conflict := d.pool.goalRO + word.Addr((((diff%sets)+sets)%sets)*BlockWords)
+	off := word.Addr(slot % BlockWords)
+
+	d.emit(reader, cache.OpLR, guard, 0)
+	d.emit(reader, cache.OpR, base+off, 0)
+	d.emit(reader, cache.OpU, guard, 0)
+
+	d.emit(pe, cache.OpLR, guard, 0)
+	d.emit(pe, cache.OpW, base+off, v)
+	d.emit(pe, cache.OpR, conflict, 0)
+	d.emit(pe, cache.OpDW, base, v+1)
+	for i := 1; i < BlockWords; i++ {
+		d.emit(pe, cache.OpW, base+word.Addr(i), v+1+int64(i))
+	}
+	d.emit(pe, cache.OpU, guard, 0)
 }

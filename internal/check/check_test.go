@@ -99,22 +99,38 @@ func faultFlag(t *testing.T, name string) *bool {
 		return &cache.Faults.SkipSnoopInvalidate
 	case "SkipFilterDrop":
 		return &cache.Faults.SkipFilterDrop
+	case "MOESIDropOwnedWriteBack":
+		return &cache.Faults.MOESIDropOwnedWriteBack
+	case "SkipSnoopUpdate":
+		return &cache.Faults.SkipSnoopUpdate
+	case "AdaptiveDropSkipFilter":
+		return &cache.Faults.AdaptiveDropSkipFilter
+	case "SkipDWUpdateInval":
+		return &cache.Faults.SkipDWUpdateInval
 	}
 	t.Fatalf("unknown fault %q", name)
 	return nil
 }
 
+// allFaults lists every fault-injection knob; TestMutationKill and the
+// repro-corpus generator iterate it so a knob added to cache.Faults
+// without a kill test here fails faultFlag's exhaustiveness at run time.
+var allFaults = []string{
+	"GrantEMOverRemoteLock", "SkipSnoopInvalidate", "SkipFilterDrop",
+	"MOESIDropOwnedWriteBack", "SkipSnoopUpdate", "AdaptiveDropSkipFilter",
+	"SkipDWUpdateInval",
+}
+
 // TestMutationKill is the checker's self-test: each seeded protocol
 // mutation (a wrong exclusivity grant over a remote lock, a skipped
-// snoop invalidation, a stale presence-filter entry) must be caught by
-// the checker on a generated schedule, and the shrinker must reduce the
-// catch to at most 20 operations. With the mutations off the same
-// inputs must pass — proving the checker's alarms are the mutations,
-// not noise.
+// snoop invalidation, a stale presence-filter entry, a dropped MOESI
+// owned write-back, a lost update broadcast, a stale filter bit behind
+// an adaptive self-invalidation) must be caught by the checker on a
+// generated schedule, and the shrinker must reduce the catch to at most
+// 20 operations. With the mutations off the same inputs must pass —
+// proving the checker's alarms are the mutations, not noise.
 func TestMutationKill(t *testing.T) {
-	for _, name := range []string{
-		"GrantEMOverRemoteLock", "SkipSnoopInvalidate", "SkipFilterDrop",
-	} {
+	for _, name := range allFaults {
 		t.Run(name, func(t *testing.T) {
 			flag := faultFlag(t, name)
 			*flag = true
@@ -166,9 +182,7 @@ func TestGenerateReproCorpus(t *testing.T) {
 	if err := os.MkdirAll(filepath.Join("testdata", "repro"), 0o755); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{
-		"GrantEMOverRemoteLock", "SkipSnoopInvalidate", "SkipFilterDrop",
-	} {
+	for _, name := range allFaults {
 		flag := faultFlag(t, name)
 		*flag = true
 		r := rand.New(rand.NewSource(42))

@@ -31,6 +31,18 @@ func FuzzCoherence(f *testing.F) {
 	for sel := byte(0); sel < 16; sel++ {
 		f.Add([]byte{3, sel, 0x11, 0x42, sel | 0x30, 0x07, 0x99, sel | 0x10, 0x2a, 0x05})
 	}
+	// Schedules proven (by the mutation-kill search) to reach the
+	// write-update transitions: a shared-block write that broadcasts UP
+	// under dragon/adaptive, a lock-heavy shape that drives the adaptive
+	// self-invalidation, and a MOESI owned-block handoff and eviction.
+	f.Add([]byte{0x19, 0x52, 0x09, 0xc9, 0x0d, 0x3b, 0xa5})
+	f.Add([]byte{0x91, 0xd5, 0xbc, 0xf7, 0x25, 0xc7, 0xb8, 0xa2, 0x12, 0x95, 0xcc, 0x7f, 0x45})
+	f.Add([]byte{0x19, 0x52, 0x09, 0xc9, 0x4d, 0x76, 0x42, 0x9b, 0x61, 0x7a, 0x0d, 0x3b, 0xa5})
+	// The free-list recycle wish: a remote copy kept alive by UP
+	// refreshes survives into an applied DW, forcing the write-update
+	// protocols' direct-write invalidate (the shape of the live Dragon
+	// allocator-corruption bug).
+	f.Add([]byte{0x46, 0x28, 0xe2, 0x6f})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 4096 {
 			return // bound runtime; long inputs add nothing over medium ones

@@ -24,18 +24,31 @@ type RunConfig struct {
 	StatsOnly bool
 }
 
-// Configs is the differential matrix: every protocol with the optimized
-// commands off and on. The generator's software contracts make all six
-// agree with the flat model, so they transitively agree with each other.
-func Configs() []RunConfig {
-	return []RunConfig{
-		{Label: "pim/none", Protocol: cache.ProtocolPIM, Options: cache.OptionsNone()},
-		{Label: "pim/all", Protocol: cache.ProtocolPIM, Options: cache.OptionsAll()},
-		{Label: "illinois/none", Protocol: cache.ProtocolIllinois, Options: cache.OptionsNone()},
-		{Label: "illinois/all", Protocol: cache.ProtocolIllinois, Options: cache.OptionsAll()},
-		{Label: "wt/none", Protocol: cache.ProtocolWriteThrough, Options: cache.OptionsNone()},
-		{Label: "wt/all", Protocol: cache.ProtocolWriteThrough, Options: cache.OptionsAll()},
+// configLabel shortens a protocol name for matrix labels (the historic
+// "wt" shorthand keeps existing repro corpora and log greps valid).
+func configLabel(p cache.CoherenceProtocol) string {
+	if p.ID() == cache.ProtocolWriteThrough {
+		return "wt"
 	}
+	return p.Name()
+}
+
+// Configs is the differential matrix: every registered protocol with the
+// optimized commands off and on. Enumerating the cache package's
+// protocol registry means a newly registered FSM joins the matrix — and
+// the fuzzer, the mutation gate and the equivalence twins built on it —
+// with no change here. The generator's software contracts make every
+// configuration agree with the flat model, so they transitively agree
+// with each other.
+func Configs() []RunConfig {
+	var out []RunConfig
+	for _, p := range cache.Protocols() {
+		out = append(out,
+			RunConfig{Label: configLabel(p) + "/none", Protocol: p.ID(), Options: cache.OptionsNone()},
+			RunConfig{Label: configLabel(p) + "/all", Protocol: p.ID(), Options: cache.OptionsAll()},
+		)
+	}
+	return out
 }
 
 // Result is the observable outcome of a run; it is comparable with ==,

@@ -11,6 +11,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"pimcache/internal/bus"
 	"pimcache/internal/cache"
@@ -62,17 +63,31 @@ func ParseOptions(name string) (cache.Options, error) {
 	return cache.Options{}, fmt.Errorf("unknown -opts %q (want none, heap, goal, comm, or all)", name)
 }
 
-// ParseProtocol maps a -protocol flag value to a coherence protocol.
-func ParseProtocol(name string) (cache.Protocol, error) {
-	switch name {
-	case "pim":
-		return cache.ProtocolPIM, nil
-	case "illinois":
-		return cache.ProtocolIllinois, nil
-	case "writethrough":
-		return cache.ProtocolWriteThrough, nil
+// protocolList renders the registered protocol names as an English
+// alternation ("pim, illinois, ..., or adaptive") for help and error
+// text, so the flag surface tracks the cache package's registry.
+func protocolList() string {
+	names := cache.ProtocolNames()
+	if len(names) == 1 {
+		return names[0]
 	}
-	return 0, fmt.Errorf("unknown -protocol %q (want pim, illinois, or writethrough)", name)
+	return strings.Join(names[:len(names)-1], ", ") + ", or " + names[len(names)-1]
+}
+
+// ProtocolFlagHelp is the shared -protocol flag usage string, derived
+// from the protocol registry.
+func ProtocolFlagHelp() string {
+	return "coherence protocol (" + protocolList() + ")"
+}
+
+// ParseProtocol maps a -protocol flag value to a coherence protocol.
+// Any protocol registered with the cache package parses; the error text
+// enumerates the registry.
+func ParseProtocol(name string) (cache.Protocol, error) {
+	if p, ok := cache.ProtocolByName(name); ok {
+		return p, nil
+	}
+	return 0, fmt.Errorf("unknown -protocol %q (want %s)", name, protocolList())
 }
 
 // BuildCacheConfig assembles and validates a cache configuration from

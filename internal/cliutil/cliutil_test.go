@@ -2,6 +2,7 @@ package cliutil
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"pimcache/internal/bus"
@@ -70,6 +71,9 @@ func TestParseProtocol(t *testing.T) {
 		"pim":          cache.ProtocolPIM,
 		"illinois":     cache.ProtocolIllinois,
 		"writethrough": cache.ProtocolWriteThrough,
+		"moesi":        cache.ProtocolMOESI,
+		"dragon":       cache.ProtocolDragon,
+		"adaptive":     cache.ProtocolAdaptive,
 	} {
 		got, err := ParseProtocol(name)
 		if err != nil || got != want {
@@ -79,6 +83,26 @@ func TestParseProtocol(t *testing.T) {
 	for _, name := range []string{"", "PIM", "mesi"} {
 		if _, err := ParseProtocol(name); err == nil {
 			t.Errorf("ParseProtocol(%q) = nil error, want error", name)
+		}
+	}
+}
+
+// TestParseProtocolAgreesWithRegistry pins the registry round trip:
+// every registered protocol name parses back to its own enum value, and
+// the help/error text names each of them — so a protocol registered in
+// the cache package cannot be silently unreachable from the CLI.
+func TestParseProtocolAgreesWithRegistry(t *testing.T) {
+	for _, p := range cache.Protocols() {
+		got, err := ParseProtocol(p.Name())
+		if err != nil || got != p.ID() {
+			t.Errorf("ParseProtocol(%q) = %v, %v; want %v", p.Name(), got, err, p.ID())
+		}
+		if !strings.Contains(ProtocolFlagHelp(), p.Name()) {
+			t.Errorf("ProtocolFlagHelp() %q does not mention %q", ProtocolFlagHelp(), p.Name())
+		}
+		_, err = ParseProtocol("no-such-protocol")
+		if err == nil || !strings.Contains(err.Error(), p.Name()) {
+			t.Errorf("ParseProtocol error %v does not mention %q", err, p.Name())
 		}
 	}
 }

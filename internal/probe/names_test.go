@@ -32,15 +32,31 @@ func TestPatternNamesMatchBus(t *testing.T) {
 }
 
 func TestStateNamesMatchCache(t *testing.T) {
-	for s := cache.INV; s <= cache.EM; s++ {
+	for s := cache.INV; s <= cache.O; s++ {
 		if got, want := probe.StateName(uint8(s)), s.String(); got != want {
 			t.Errorf("StateName(%d) = %q, cache says %q", s, got, want)
 		}
 	}
-	// Both sides format unknown values identically, so EM+1 matching
-	// confirms EM really is the last state.
-	if got, want := probe.StateName(uint8(cache.EM)+1), (cache.EM + 1).String(); got != want {
-		t.Errorf("state beyond EM: probe %q, cache %q", got, want)
+	// Both sides format unknown values identically, so O+1 matching
+	// confirms O (MOESI's owned state) really is the last state.
+	if got, want := probe.StateName(uint8(cache.O)+1), (cache.O + 1).String(); got != want {
+		t.Errorf("state beyond O: probe %q, cache %q", got, want)
+	}
+}
+
+// TestNewProtocolNamesRender pins the names the MOESI and write-update
+// protocols introduced: a probe event carrying the UP command, the
+// update bus pattern, or the O state renders symbolically, and the
+// bus/cache enum values agree with the registered tables.
+func TestNewProtocolNamesRender(t *testing.T) {
+	if got := probe.CmdName(uint8(bus.CmdUP)); got != "UP" {
+		t.Errorf("CmdName(CmdUP) = %q, want UP", got)
+	}
+	if got := probe.PatternName(uint8(bus.PatUpdate)); got != "update" {
+		t.Errorf("PatternName(PatUpdate) = %q, want update", got)
+	}
+	if got := probe.StateName(uint8(cache.O)); got != "O" {
+		t.Errorf("StateName(O) = %q, want O", got)
 	}
 }
 

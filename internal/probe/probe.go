@@ -147,13 +147,17 @@ const (
 	ReasonWrite
 	// ReasonLock: an LR upgraded the state while taking a lock.
 	ReasonLock
+	// ReasonAdaptiveDrop: the adaptive update protocol self-invalidated
+	// the copy after receiving its threshold of consecutive UP
+	// broadcasts with no local access.
+	ReasonAdaptiveDrop
 
 	numReasons
 )
 
 var reasonNames = [numReasons]string{
 	"fetch", "direct-write", "evict", "snoop-inval", "snoop-share",
-	"purge", "flush", "write", "lock",
+	"purge", "flush", "write", "lock", "adaptive-drop",
 }
 
 // ReasonName names a KindCacheState reason.
@@ -190,17 +194,37 @@ func StatusName(s uint8) string {
 
 // Name tables for enum values carried in events as raw bytes. The
 // probe layer cannot import bus or cache (they import probe), so it
-// carries its own copies; cross-package tests assert they agree with
-// bus.Command, bus.Pattern, cache.State and cache.Op.
+// carries fallback copies and lets those packages register the
+// authoritative tables from their init functions (SetCmdNames and
+// friends below); cross-package tests assert the registered tables
+// agree with bus.Command, bus.Pattern, cache.State and cache.Op.
 var (
-	cmdNames     = []string{"F", "FI", "I", "H", "LK", "UL", "LH"}
+	cmdNames     = []string{"F", "FI", "I", "H", "LK", "UL", "LH", "UP"}
 	patternNames = []string{
 		"swapin-mem", "swapin-mem+swapout", "c2c", "c2c+swapout",
-		"swapout-only", "invalidate", "unlock", "word-write",
+		"swapout-only", "invalidate", "unlock", "word-write", "update",
 	}
-	stateNames = []string{"INV", "S", "SM", "EC", "EM"}
+	stateNames = []string{"INV", "S", "SM", "EC", "EM", "O"}
 	opNames    = []string{"R", "W", "LR", "UW", "U", "DW", "ER", "RP", "RI"}
 )
+
+// SetCmdNames registers the authoritative bus-command name table
+// (called from the bus package's init so the probe renders whatever
+// commands the bus actually defines).
+func SetCmdNames(names []string) { cmdNames = names }
+
+// SetPatternNames registers the authoritative bus access-pattern name
+// table (called from the bus package's init).
+func SetPatternNames(names []string) { patternNames = names }
+
+// SetStateNames registers the authoritative cache-state name table
+// (called from the cache package's init so every registered protocol's
+// states render).
+func SetStateNames(names []string) { stateNames = names }
+
+// SetOpNames registers the authoritative memory-operation name table
+// (called from the cache package's init).
+func SetOpNames(names []string) { opNames = names }
 
 // CmdName names a bus command byte (CmdNone for command-less
 // transactions).

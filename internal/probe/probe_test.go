@@ -38,6 +38,21 @@ func TestNameHelpers(t *testing.T) {
 	if got := ReasonName(ReasonSnoopInval); got != "snoop-inval" {
 		t.Errorf("ReasonName(ReasonSnoopInval) = %q", got)
 	}
+	if got := ReasonName(ReasonAdaptiveDrop); got != "adaptive-drop" {
+		t.Errorf("ReasonName(ReasonAdaptiveDrop) = %q", got)
+	}
+	// The write-update and MOESI additions must render symbolically even
+	// from the fallback tables (a decoder that never imports bus or
+	// cache still sees these bytes in saved event streams).
+	if got := CmdName(uint8(len(cmdNames) - 1)); got != "UP" {
+		t.Errorf("last fallback command = %q, want UP", got)
+	}
+	if got := PatternName(uint8(len(patternNames) - 1)); got != "update" {
+		t.Errorf("last fallback pattern = %q, want update", got)
+	}
+	if got := StateName(uint8(len(stateNames) - 1)); got != "O" {
+		t.Errorf("last fallback state = %q, want O", got)
+	}
 	if got := ReasonName(99); got != "reason(99)" {
 		t.Errorf("ReasonName(99) = %q", got)
 	}

@@ -49,7 +49,9 @@ type Config struct {
 	// "none", "heap" (DW), "goal" (ER/RP/DW), "comm" (RI) or "all"
 	// (default "all").
 	Optimizations string
-	// Protocol is "pim" (default), "illinois", or "writethrough".
+	// Protocol names the coherence protocol (default "pim"). Any name
+	// registered with the cache package works: "pim", "illinois",
+	// "writethrough", "moesi", "dragon", or "adaptive".
 	Protocol string
 	// BusWidthWords and MemCycles set the bus timing (defaults 1 and 8).
 	BusWidthWords int
@@ -122,15 +124,11 @@ func (c Config) cacheConfig() (cache.Config, error) {
 		SizeWords: c.CacheWords, BlockWords: c.BlockWords, Ways: c.Ways,
 		LockEntries: 4, Options: opts,
 	}
-	switch c.Protocol {
-	case "pim":
-	case "illinois":
-		cfg.Protocol = cache.ProtocolIllinois
-	case "writethrough":
-		cfg.Protocol = cache.ProtocolWriteThrough
-	default:
+	proto, ok := cache.ProtocolByName(c.Protocol)
+	if !ok {
 		return cache.Config{}, fmt.Errorf("pimcache: unknown protocol %q", c.Protocol)
 	}
+	cfg.Protocol = proto
 	return cfg, cfg.Validate()
 }
 

@@ -3,6 +3,8 @@ package pimcache
 import (
 	"strings"
 	"testing"
+
+	"pimcache/internal/cache"
 )
 
 func smallConfig() Config {
@@ -124,6 +126,25 @@ func TestIllinoisProtocolOption(t *testing.T) {
 	}
 	if res.Output != "ok\n" {
 		t.Errorf("output %q", res.Output)
+	}
+}
+
+// TestEveryRegisteredProtocolRuns checks the facade accepts every name
+// in the cache package's protocol registry and produces the same program
+// output under each — new protocols are reachable from the public API
+// the moment they register.
+func TestEveryRegisteredProtocolRuns(t *testing.T) {
+	for _, name := range cache.ProtocolNames() {
+		cfg := smallConfig()
+		cfg.Protocol = name
+		res, err := Run("main :- true | println(ok).", cfg, 0)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.Output != "ok\n" {
+			t.Errorf("%s: output %q", name, res.Output)
+		}
 	}
 }
 
